@@ -1,0 +1,254 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each benchmark
+// executes the same experiment runner the CLI uses, at a reduced slot
+// budget so a full `-bench=.` pass stays in CI territory; the CLI
+// regenerates publication-scale sweeps.
+//
+//	BenchmarkTable1Characterization — Table 1 (node-switch LUTs)
+//	BenchmarkTable2SRAM             — Table 2 (buffer bit energy)
+//	BenchmarkTechETBit              — §5.1 E_T derivation (87 fJ)
+//	BenchmarkFig9PowerVsThroughput  — Fig. 9 (4 architectures × sizes)
+//	BenchmarkFig10PowerVsPorts      — Fig. 10 (power vs port count)
+//	BenchmarkObs1Crossover          — §6 obs. 1 (Banyan crossover)
+//	BenchmarkSaturationCeiling      — §5.2/§6 (58.6% input-buffered limit)
+//
+// The remaining benchmarks profile the simulator substrate itself.
+package fabricpower_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"fabricpower/internal/circuits"
+	"fabricpower/internal/core"
+	"fabricpower/internal/energy"
+	"fabricpower/internal/exp"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/gates"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/tech"
+)
+
+func benchParams() exp.SimParams {
+	return exp.SimParams{WarmupSlots: 100, MeasureSlots: 600, Seed: 1}
+}
+
+// BenchmarkTable1Characterization regenerates Table 1: gate-level
+// characterization of the four node-switch types under all input vectors.
+func BenchmarkTable1Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t1, err := exp.RunTable1(core.PaperModel(), exp.Table1Options{Cycles: 64, BusWidth: 16, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t1.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SRAM regenerates Table 2 from the calibrated SRAM model.
+func BenchmarkTable2SRAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t2, err := exp.RunTable2(core.PaperModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t2.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTechETBit regenerates the §5.1 wire-energy derivation.
+func BenchmarkTechETBit(b *testing.B) {
+	tp := tech.Default180nm()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += tp.ETBitFJ()
+	}
+	if sum < 0 {
+		b.Fatal("impossible")
+	}
+}
+
+// BenchmarkFig9PowerVsThroughput regenerates the Fig. 9 sweep: power
+// under 10–50% traffic throughput for all four architectures and the
+// paper's four port configurations.
+func BenchmarkFig9PowerVsThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f9, err := exp.RunFig9(core.PaperModel(), exp.DefaultSizes(), exp.DefaultLoads(), benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f9.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10PowerVsPorts regenerates the Fig. 10 comparison at 50%
+// throughput, including the fully-connected vs Batcher-Banyan gap.
+func BenchmarkFig10PowerVsPorts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f10, err := exp.RunFig10(core.PaperModel(), exp.DefaultSizes(), 0.5, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f10.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObs1Crossover regenerates §6 observation 1's crossover search
+// at 32×32 under the per-word buffer reading (the one that reproduces the
+// paper's ≈35% figure).
+func BenchmarkObs1Crossover(b *testing.B) {
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunCrossover(core.PerWordBufferModel(), 32, loads, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaturationCeiling regenerates the input-buffered saturation
+// study behind the paper's 58.6% maximum-throughput statement.
+func BenchmarkSaturationCeiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := exp.RunSaturation(core.PaperModel(), 16, benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulator substrate micro-benchmarks --------------------------------
+
+func benchFabric(b *testing.B, arch core.Architecture, ports int) {
+	b.Helper()
+	cfg := fabric.Config{
+		Ports: ports,
+		Cell:  packet.Config{CellBits: 1024, BusWidth: 32},
+		Model: core.PaperModel(),
+	}
+	f, err := fabric.New(arch, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	payloads := make([][]uint32, 64)
+	for i := range payloads {
+		payloads[i] = packet.RandomPayload(rng, 32)
+	}
+	id := uint64(0)
+	destBusy := make([]bool, ports)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range destBusy {
+			destBusy[j] = false
+		}
+		for p := 0; p < ports; p++ {
+			if rng.Float64() < 0.5 {
+				d := rng.Intn(ports)
+				if destBusy[d] {
+					continue
+				}
+				id++
+				if f.Offer(&packet.Cell{ID: id, Src: p, Dest: d, Payload: payloads[id%64]}) {
+					destBusy[d] = true
+				}
+			}
+		}
+		f.Step(uint64(i))
+	}
+}
+
+// BenchmarkCrossbarStep measures one 32×32 crossbar slot at 50% load.
+func BenchmarkCrossbarStep(b *testing.B) { benchFabric(b, core.Crossbar, 32) }
+
+// BenchmarkFullyConnectedStep measures one 32×32 MUX-fabric slot.
+func BenchmarkFullyConnectedStep(b *testing.B) { benchFabric(b, core.FullyConnected, 32) }
+
+// BenchmarkBanyanStep measures one 32×32 Banyan slot including blocking
+// and buffer bookkeeping.
+func BenchmarkBanyanStep(b *testing.B) { benchFabric(b, core.Banyan, 32) }
+
+// BenchmarkBatcherBanyanStep measures one 32×32 Batcher-Banyan slot
+// (bitonic sort + routing waves).
+func BenchmarkBatcherBanyanStep(b *testing.B) { benchFabric(b, core.BatcherBanyan, 32) }
+
+// BenchmarkGateSimBanyanSwitch measures the gate-level simulator on the
+// 2×2 Banyan switch netlist (one clock cycle per iteration).
+func BenchmarkGateSimBanyanSwitch(b *testing.B) {
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := circuits.BanyanSwitch(lib, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := gates.NewSimulator(sw.Netlist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range sw.In {
+			s.SetInput(p.Valid, true)
+			s.SetBus(p.Data, rng.Uint64())
+		}
+		s.Settle()
+		s.ClockEdge()
+	}
+}
+
+// BenchmarkCharacterizeBanyan measures a full LUT characterization of the
+// Banyan switch (the Table 1 unit of work).
+func BenchmarkCharacterizeBanyan(b *testing.B) {
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := circuits.BanyanSwitch(lib, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := energy.Characterize(sw, energy.CharOptions{Cycles: 64, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFlipAccounting measures the XOR/popcount hot path of the
+// bit-accurate wire model.
+func BenchmarkWireFlipAccounting(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	words := packet.RandomPayload(rng, 32)
+	last := uint32(0)
+	flips := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var f int
+		f, last = packet.FlipsThrough(last, words)
+		flips += f
+	}
+	if flips < 0 {
+		b.Fatal("impossible")
+	}
+}

@@ -1,0 +1,138 @@
+// Command charlib runs the gate-level characterization flow of §5.1 on
+// the node-switch netlists and emits the resulting bit-energy look-up
+// tables, optionally calibrated to the paper's Table 1 anchor.
+//
+// Usage:
+//
+//	charlib [-width 32] [-cycles 256] [-calibrate] [-switch all|crosspoint|banyan|batcher|mux]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fabricpower/internal/circuits"
+	"fabricpower/internal/energy"
+	"fabricpower/internal/gates"
+	"fabricpower/internal/tech"
+)
+
+func main() {
+	width := flag.Int("width", 32, "datapath width in bits")
+	cycles := flag.Int("cycles", 256, "measured cycles per input vector")
+	seed := flag.Int64("seed", 1, "payload PRNG seed")
+	calibrate := flag.Bool("calibrate", true, "calibrate to the paper's banyan [0,1] = 1080 fJ anchor")
+	which := flag.String("switch", "all", "all | crosspoint | banyan | batcher | mux")
+	jsonOut := flag.String("json", "", "write the selected LUTs as JSON files with this prefix")
+	flag.Parse()
+
+	tp := tech.Default180nm()
+	lib, err := gates.NewLibrary(tp.GateCapFF, tp.VDD)
+	if err != nil {
+		fail(err)
+	}
+	opt := energy.CharOptions{Cycles: *cycles, Seed: *seed}
+
+	// Characterize the anchor first so one global factor applies.
+	bn, err := circuits.BanyanSwitch(lib, *width)
+	if err != nil {
+		fail(err)
+	}
+	bnTab, err := energy.Characterize(bn, opt)
+	if err != nil {
+		fail(err)
+	}
+	scale := 1.0
+	if *calibrate {
+		raw := bnTab.EnergyFJ(0b01)
+		if raw <= 0 {
+			fail(fmt.Errorf("anchor characterized at %g fJ", raw))
+		}
+		scale = energy.PaperBanyan().EnergyFJ(0b01) / raw
+		fmt.Printf("# calibration factor %.5g (banyan [0,1] -> 1080 fJ)\n", scale)
+	}
+
+	saveJSON := func(name string, t energy.Table) {
+		if *jsonOut == "" {
+			return
+		}
+		out := t
+		if scale != 1 {
+			// Materialize the calibrated values: anchor the table to its
+			// own scaled single-input entry.
+			cal, err := energy.Calibrate(t, 0b1, t.EnergyFJ(0b1)*scale)
+			if err == nil {
+				out = cal
+			}
+		}
+		path := *jsonOut + strings.ReplaceAll(name, " ", "-") + ".json"
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := energy.WriteJSON(f, out); err != nil {
+			fail(err)
+		}
+		fmt.Printf("# wrote %s\n", path)
+	}
+
+	dump2 := func(name string, t energy.Table) {
+		fmt.Printf("%s:\n", name)
+		for v := energy.Vector(0); v < 1<<uint(t.Inputs()); v++ {
+			fmt.Printf("  [%0*b] %.1f fJ/bit\n", t.Inputs(), uint64(v), t.EnergyFJ(v)*scale)
+		}
+		saveJSON(name, t)
+	}
+
+	if *which == "all" || *which == "banyan" {
+		dump2("banyan 2x2", bnTab)
+	}
+	if *which == "all" || *which == "crosspoint" {
+		xp, err := circuits.Crosspoint(lib, *width)
+		if err != nil {
+			fail(err)
+		}
+		t, err := energy.Characterize(xp, opt)
+		if err != nil {
+			fail(err)
+		}
+		dump2("crosspoint", t)
+	}
+	if *which == "all" || *which == "batcher" {
+		bt, err := circuits.BatcherSwitch(lib, *width, 5)
+		if err != nil {
+			fail(err)
+		}
+		t, err := energy.Characterize(bt, opt)
+		if err != nil {
+			fail(err)
+		}
+		dump2("batcher 2x2", t)
+	}
+	if *which == "all" || *which == "mux" {
+		for _, n := range []int{4, 8, 16, 32} {
+			mx, err := circuits.MuxN(lib, *width, n)
+			if err != nil {
+				fail(err)
+			}
+			t, err := energy.Characterize(mx, opt)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("mux N=%d:\n", n)
+			for k := 1; k <= n; k *= 2 {
+				v := energy.Vector(1<<uint(k) - 1)
+				fmt.Printf("  [%d active] %.1f fJ/bit\n", k, t.EnergyFJ(v)*scale)
+			}
+			saveJSON(fmt.Sprintf("mux%d", n), t)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,286 @@
+// Command fabricpower regenerates the paper's tables and figures and runs
+// the ablation studies.
+//
+// Usage:
+//
+//	fabricpower tech                      # §5.1 E_T derivation
+//	fabricpower table1 [-cycles N]        # Table 1 recharacterization
+//	fabricpower table2                    # Table 2 buffer energies
+//	fabricpower fig9  [-sizes 4,8,16,32] [-slots N] [-csv file]
+//	fabricpower fig10 [-load 0.5] [-csv file]
+//	fabricpower crossover [-ports 32] [-perword]
+//	fabricpower saturate [-ports 16]
+//	fabricpower ablate [-study buffer|fcwire|queue]
+//	fabricpower simulate -arch banyan -ports 16 -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/exp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "tech":
+		err = exp.TechReport(core.PaperModel(), os.Stdout)
+	case "table1":
+		err = runTable1(args)
+	case "table2":
+		err = runTable2()
+	case "fig9":
+		err = runFig9(args)
+	case "fig10":
+		err = runFig10(args)
+	case "crossover":
+		err = runCrossover(args)
+	case "saturate":
+		err = runSaturate(args)
+	case "ablate":
+		err = runAblate(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `fabricpower — switch-fabric power analysis (DAC 2002 reproduction)
+
+commands:
+  tech        technology parameters and the 87 fJ Thompson-grid derivation
+  table1      node-switch bit-energy LUTs (gate-level recharacterization)
+  table2      Banyan shared-SRAM buffer bit energies
+  fig9        power vs throughput sweep (4 architectures × port sizes)
+  fig10       power vs port count at fixed throughput
+  crossover   cheapest architecture per load at one size
+  saturate    input-buffered throughput ceiling
+  ablate      ablation studies (-study buffer|fcwire|queue)
+  simulate    one operating point with full breakdown`)
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func simParams(slots uint64, seed int64) exp.SimParams {
+	return exp.SimParams{MeasureSlots: slots, Seed: seed}
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	cycles := fs.Int("cycles", 192, "measured cycles per input vector")
+	width := fs.Int("width", 32, "datapath width in bits")
+	seed := fs.Int64("seed", 1, "payload PRNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t1, err := exp.RunTable1(core.PaperModel(), exp.Table1Options{Cycles: *cycles, BusWidth: *width, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	return t1.Render(os.Stdout)
+}
+
+func runTable2() error {
+	t2, err := exp.RunTable2(core.PaperModel())
+	if err != nil {
+		return err
+	}
+	return t2.Render(os.Stdout)
+}
+
+func withCSV(path string, csv func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return csv(f)
+}
+
+func runFig9(args []string) error {
+	fs := flag.NewFlagSet("fig9", flag.ExitOnError)
+	sizesFlag := fs.String("sizes", "4,8,16,32", "comma-separated port counts")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	csvPath := fs.String("csv", "", "also write CSV to this file")
+	perWord := fs.Bool("perword", false, "per-word buffer accounting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	model := core.PaperModel()
+	if *perWord {
+		model = core.PerWordBufferModel()
+	}
+	f9, err := exp.RunFig9(model, sizes, nil, simParams(*slots, *seed))
+	if err != nil {
+		return err
+	}
+	if err := f9.Render(os.Stdout); err != nil {
+		return err
+	}
+	return withCSV(*csvPath, f9.CSV)
+}
+
+func runFig10(args []string) error {
+	fs := flag.NewFlagSet("fig10", flag.ExitOnError)
+	sizesFlag := fs.String("sizes", "4,8,16,32", "comma-separated port counts")
+	load := fs.Float64("load", 0.5, "offered load")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	csvPath := fs.String("csv", "", "also write CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	f10, err := exp.RunFig10(core.PaperModel(), sizes, *load, simParams(*slots, *seed))
+	if err != nil {
+		return err
+	}
+	if err := f10.Render(os.Stdout); err != nil {
+		return err
+	}
+	return withCSV(*csvPath, f10.CSV)
+}
+
+func runCrossover(args []string) error {
+	fs := flag.NewFlagSet("crossover", flag.ExitOnError)
+	ports := fs.Int("ports", 32, "fabric size")
+	slots := fs.Uint64("slots", 2000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	perWord := fs.Bool("perword", false, "per-word buffer accounting (recovers the paper's 35% crossover)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	model := core.PaperModel()
+	if *perWord {
+		model = core.PerWordBufferModel()
+	}
+	c, err := exp.RunCrossover(model, *ports, nil, simParams(*slots, *seed))
+	if err != nil {
+		return err
+	}
+	return c.Render(os.Stdout)
+}
+
+func runSaturate(args []string) error {
+	fs := flag.NewFlagSet("saturate", flag.ExitOnError)
+	ports := fs.Int("ports", 16, "fabric size")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := exp.RunSaturation(core.PaperModel(), *ports, simParams(*slots, *seed))
+	if err != nil {
+		return err
+	}
+	return s.Render(os.Stdout)
+}
+
+func runAblate(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
+	study := fs.String("study", "buffer", "buffer | fcwire | queue")
+	ports := fs.Int("ports", 16, "fabric size")
+	load := fs.Float64("load", 0.5, "offered load")
+	slots := fs.Uint64("slots", 2000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := simParams(*slots, *seed)
+	switch *study {
+	case "buffer":
+		a, err := exp.RunBufferAblation(core.PaperModel(), *ports, *load, p)
+		if err != nil {
+			return err
+		}
+		return a.Render(os.Stdout)
+	case "fcwire":
+		a, err := exp.RunFCWireAblation(core.PaperModel(), *ports, *load, p)
+		if err != nil {
+			return err
+		}
+		return a.Render(os.Stdout)
+	case "queue":
+		a, err := exp.RunQueueAblation(core.PaperModel(), *ports, p)
+		if err != nil {
+			return err
+		}
+		return a.Render(os.Stdout)
+	}
+	return fmt.Errorf("unknown study %q", *study)
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	archName := fs.String("arch", "banyan", "crossbar | fullyconnected | banyan | batcherbanyan")
+	ports := fs.Int("ports", 16, "fabric size")
+	load := fs.Float64("load", 0.3, "offered load")
+	slots := fs.Uint64("slots", 3000, "measured slots")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := core.ParseArchitecture(*archName)
+	if err != nil {
+		return err
+	}
+	res, err := exp.RunPoint(core.PaperModel(), arch, *ports, *load, simParams(*slots, *seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %d×%d at %.0f%% offered load (%d measured slots)\n",
+		arch, *ports, *ports, *load*100, res.Slots)
+	fmt.Printf("  throughput     : %.2f%%\n", res.Throughput*100)
+	fmt.Printf("  avg latency    : %.2f slots (max %d)\n", res.AvgLatencySlots, res.MaxLatencySlots)
+	fmt.Printf("  switch power   : %.4f mW\n", res.Power.SwitchMW)
+	fmt.Printf("  buffer power   : %.4f mW (%d buffering events)\n", res.Power.BufferMW, res.BufferEvents)
+	fmt.Printf("  wire power     : %.4f mW\n", res.Power.WireMW)
+	fmt.Printf("  total power    : %.4f mW\n", res.Power.TotalMW())
+	return nil
+}

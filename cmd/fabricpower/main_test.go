@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("4,8, 16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestParseSizesEmpty(t *testing.T) {
+	got, err := parseSizes("")
+	if err != nil || got != nil {
+		t.Fatalf("empty should give nil, got %v/%v", got, err)
+	}
+}
+
+func TestParseSizesRejectsGarbage(t *testing.T) {
+	if _, err := parseSizes("4,eight"); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestSimParamsHelper(t *testing.T) {
+	p := simParams(1234, 9)
+	if p.MeasureSlots != 1234 || p.Seed != 9 {
+		t.Fatalf("params %+v", p)
+	}
+}

@@ -1,0 +1,85 @@
+// Command powertrace runs one simulation configuration across a load
+// sweep and prints a detailed per-component trace — the "single experiment
+// under a microscope" companion to the fabricpower experiment driver.
+//
+// Usage:
+//
+//	powertrace -arch banyan -ports 16 -from 0.05 -to 0.55 -step 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/exp"
+	"fabricpower/internal/plot"
+)
+
+func main() {
+	archName := flag.String("arch", "banyan", "crossbar | fullyconnected | banyan | batcherbanyan")
+	ports := flag.Int("ports", 16, "fabric size (power of two)")
+	from := flag.Float64("from", 0.05, "sweep start load")
+	to := flag.Float64("to", 0.55, "sweep end load")
+	step := flag.Float64("step", 0.05, "sweep step")
+	slots := flag.Uint64("slots", 3000, "measured slots per point")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	perWord := flag.Bool("perword", false, "per-word buffer accounting")
+	flag.Parse()
+
+	arch, err := core.ParseArchitecture(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	model := core.PaperModel()
+	if *perWord {
+		model = core.PerWordBufferModel()
+	}
+	if *step <= 0 || *from <= 0 || *to < *from {
+		fmt.Fprintln(os.Stderr, "error: bad sweep bounds")
+		os.Exit(2)
+	}
+
+	t := plot.Table{
+		Title: fmt.Sprintf("%s %d×%d load sweep", arch, *ports, *ports),
+		Headers: []string{"offered", "throughput", "avg_lat", "switch_mW", "buffer_mW",
+			"wire_mW", "total_mW", "fJ/bit", "buffer_events"},
+	}
+	analytic, err := model.BitEnergy(arch, *ports)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for load := *from; load <= *to+1e-9; load += *step {
+		res, err := exp.RunPoint(model, arch, *ports, load,
+			exp.SimParams{MeasureSlots: *slots, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		bits := res.Throughput * float64(*ports) * float64(res.Slots) * 1024
+		perBit := 0.0
+		if bits > 0 {
+			perBit = res.Energy.TotalFJ() / bits
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", load*100),
+			fmt.Sprintf("%.2f%%", res.Throughput*100),
+			fmt.Sprintf("%.2f", res.AvgLatencySlots),
+			fmt.Sprintf("%.4f", res.Power.SwitchMW),
+			fmt.Sprintf("%.4f", res.Power.BufferMW),
+			fmt.Sprintf("%.4f", res.Power.WireMW),
+			fmt.Sprintf("%.4f", res.Power.TotalMW()),
+			fmt.Sprintf("%.0f", perBit),
+			fmt.Sprintf("%d", res.BufferEvents),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nanalytic worst-case bit energy (Eqs. 3-6): switch %.0f fJ, wire %.0f fJ, total %.0f fJ\n",
+		analytic.SwitchFJ, analytic.WireFJ, analytic.TotalFJ())
+}

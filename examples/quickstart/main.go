@@ -1,0 +1,47 @@
+// Quickstart: estimate the power of one switch fabric operating point.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fabricpower"
+)
+
+func main() {
+	// Simulate a 16×16 Banyan fabric at 30% offered load with the
+	// paper's 0.18 µm / 3.3 V model and TCP/IP-like uniform traffic.
+	report, err := fabricpower.Simulate(fabricpower.Options{
+		Architecture: fabricpower.Banyan,
+		Ports:        16,
+		OfferedLoad:  0.30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("16×16 Banyan at 30% offered load")
+	fmt.Printf("  measured throughput : %.1f%%\n", report.Throughput*100)
+	fmt.Printf("  average latency     : %.1f cell slots\n", report.AvgLatencySlots)
+	fmt.Printf("  switch power        : %.3f mW\n", report.SwitchMW)
+	fmt.Printf("  buffer power        : %.3f mW  (%d buffering events)\n",
+		report.BufferMW, report.BufferEvents)
+	fmt.Printf("  wire power          : %.3f mW\n", report.WireMW)
+	fmt.Printf("  total power         : %.3f mW\n", report.TotalMW())
+	fmt.Printf("  energy per bit      : %.0f fJ\n", report.EnergyPerBitFJ)
+
+	// Compare with the closed-form worst case of the paper's Eq. 5
+	// (contention-free path — the simulation adds the buffer penalty).
+	analytic, err := fabricpower.Analytic(fabricpower.Banyan, 16, fabricpower.DefaultModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEq. 5 contention-free bit energy: %.0f fJ (switch %.0f + wire %.0f)\n",
+		analytic.TotalFJ(), analytic.SwitchFJ, analytic.WireFJ)
+	fmt.Println("The gap between measured and analytic is the buffer penalty —")
+	fmt.Println("the paper's central observation about Banyan fabrics under load.")
+}

@@ -1,0 +1,275 @@
+// Package fabricpower estimates the power consumption of network-router
+// switch fabrics, reproducing Ye, Benini and De Micheli, "Analysis of
+// Power Consumption on Switch Fabrics in Network Routers" (DAC 2002).
+//
+// The library models the energy of every bit moving through a fabric —
+// the paper's bit-energy framework — across three components: node
+// switches (input-vector indexed look-up tables), internal buffers
+// (shared-SRAM access energy paid on interconnect contention), and
+// interconnect wires (½·C·V² per polarity flip, with Thompson-grid wire
+// lengths). Four architectures are provided: Crossbar, FullyConnected,
+// Banyan and BatcherBanyan.
+//
+// Two entry points cover most uses:
+//
+//   - Analytic evaluates the paper's closed-form worst-case bit energies
+//     (Eqs. 3–6) for an architecture and port count.
+//
+//   - Simulate runs the bit-accurate slot simulator: TCP/IP-like traffic
+//     through input-buffered ingress queues, an FCFS round-robin arbiter
+//     and the selected fabric, returning measured throughput, latency and
+//     a per-component power breakdown.
+//
+// See the examples directory for runnable walkthroughs and DESIGN.md /
+// EXPERIMENTS.md for the experiment-by-experiment reproduction record.
+package fabricpower
+
+import (
+	"fmt"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/traffic"
+)
+
+// Architecture selects a switch-fabric topology.
+type Architecture int
+
+// The four architectures analyzed by the paper.
+const (
+	Crossbar Architecture = iota
+	FullyConnected
+	Banyan
+	BatcherBanyan
+)
+
+// String returns the canonical lower-case name.
+func (a Architecture) String() string { return a.core().String() }
+
+func (a Architecture) core() core.Architecture {
+	return core.Architecture(a)
+}
+
+// Architectures lists all four in paper order.
+func Architectures() []Architecture {
+	return []Architecture{Crossbar, FullyConnected, Banyan, BatcherBanyan}
+}
+
+// Model wraps the bit-energy model parameters (technology point, node
+// switch LUTs, buffer memory calibration).
+type Model struct {
+	m core.Model
+}
+
+// DefaultModel returns the paper's case study: 0.18 µm / 3.3 V, Table 1
+// reference LUTs, Table 2 SRAM calibration, 4 Kbit node buffers.
+func DefaultModel() Model { return Model{m: core.PaperModel()} }
+
+// PerWordBufferModel returns the alternative Table 2 reading in which the
+// SRAM access energy is charged per 32-bit word rather than per bit —
+// the interpretation that recovers the paper's 35% Banyan crossover at
+// 32×32 (see EXPERIMENTS.md).
+func PerWordBufferModel() Model { return Model{m: core.PerWordBufferModel()} }
+
+// WithTechScaling derives a model at a scaled technology point: s scales
+// feature size and capacitances, sv scales the supply voltage. Use it for
+// what-if studies (e.g. a 0.13 µm shrink at 1.8 V: s=0.72, sv=0.55).
+func (m Model) WithTechScaling(s, sv float64) (Model, error) {
+	tp, err := m.m.Tech.Scaled(s, sv)
+	if err != nil {
+		return Model{}, err
+	}
+	out := m
+	out.m.Tech = tp
+	return out, nil
+}
+
+// WithBufferAccesses sets how many SRAM accesses one buffering event
+// charges per bit (1 = paper's Eq. 1, 2 = explicit write+read).
+func (m Model) WithBufferAccesses(n int) (Model, error) {
+	out := m
+	out.m.BufferAccessesPerEvent = n
+	if err := out.m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return out, nil
+}
+
+// BitEnergy is a per-component energy breakdown in femtojoules.
+type BitEnergy struct {
+	SwitchFJ float64
+	BufferFJ float64
+	WireFJ   float64
+}
+
+// TotalFJ sums the components.
+func (b BitEnergy) TotalFJ() float64 { return b.SwitchFJ + b.BufferFJ + b.WireFJ }
+
+// Analytic evaluates the paper's closed-form worst-case bit energy
+// (Eqs. 3–6) for one contention-free bit through the architecture.
+func Analytic(a Architecture, ports int, m Model) (BitEnergy, error) {
+	b, err := m.m.BitEnergy(a.core(), ports)
+	if err != nil {
+		return BitEnergy{}, err
+	}
+	return BitEnergy{SwitchFJ: b.SwitchFJ, BufferFJ: b.BufferFJ, WireFJ: b.WireFJ}, nil
+}
+
+// TrafficKind selects the workload shape.
+type TrafficKind int
+
+// Supported workloads.
+const (
+	// UniformTraffic is the paper's Bernoulli arrivals with uniform
+	// random destinations.
+	UniformTraffic TrafficKind = iota
+	// BurstyTraffic uses on/off Markov sources.
+	BurstyTraffic
+	// HotspotTraffic concentrates a fraction of cells on one port.
+	HotspotTraffic
+)
+
+// Options configures one simulation.
+type Options struct {
+	// Architecture and Ports select the fabric (ports must be a power of
+	// two for the multistage fabrics; Batcher-Banyan needs ≥ 4).
+	Architecture Architecture
+	Ports        int
+	// OfferedLoad is the per-port injection probability per cell slot,
+	// in [0,1].
+	OfferedLoad float64
+	// CellBits is the fixed cell size (default 1024).
+	CellBits int
+	// Traffic selects the workload (default UniformTraffic).
+	Traffic TrafficKind
+	// MeanBurstSlots tunes BurstyTraffic (default 10).
+	MeanBurstSlots float64
+	// HotspotPort and HotspotFraction tune HotspotTraffic (defaults 0
+	// and 0.3).
+	HotspotPort     int
+	HotspotFraction float64
+	// UseVOQ replaces the paper's FIFO ingress with virtual output
+	// queues and iSLIP matching (extension).
+	UseVOQ bool
+	// WarmupSlots and MeasureSlots bound the run (defaults 300/3000).
+	WarmupSlots  uint64
+	MeasureSlots uint64
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// Model overrides the bit-energy model (default DefaultModel).
+	Model *Model
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellBits == 0 {
+		o.CellBits = 1024
+	}
+	if o.MeanBurstSlots == 0 {
+		o.MeanBurstSlots = 10
+	}
+	if o.HotspotFraction == 0 {
+		o.HotspotFraction = 0.3
+	}
+	if o.WarmupSlots == 0 {
+		o.WarmupSlots = 300
+	}
+	if o.MeasureSlots == 0 {
+		o.MeasureSlots = 3000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	// Throughput is the measured egress throughput as a fraction of the
+	// aggregate port capacity.
+	Throughput float64
+	// AvgLatencySlots and MaxLatencySlots summarize cell latency.
+	AvgLatencySlots float64
+	MaxLatencySlots uint64
+	// SwitchMW, BufferMW and WireMW break down the fabric power;
+	// TotalMW sums them.
+	SwitchMW float64
+	BufferMW float64
+	WireMW   float64
+	// EnergyPerBitFJ is the measured average fabric energy per delivered
+	// bit — directly comparable to Analytic's worst case.
+	EnergyPerBitFJ float64
+	// BufferEvents counts internal bufferings (Banyan only).
+	BufferEvents uint64
+	// DroppedCells counts ingress overflows (0 with unbounded queues).
+	DroppedCells uint64
+}
+
+// TotalMW sums the power components.
+func (r Report) TotalMW() float64 { return r.SwitchMW + r.BufferMW + r.WireMW }
+
+// Simulate runs the bit-accurate simulation platform on one operating
+// point and reports measured throughput, latency and power.
+func Simulate(opt Options) (Report, error) {
+	opt = opt.withDefaults()
+	model := core.PaperModel()
+	if opt.Model != nil {
+		model = opt.Model.m
+	}
+	cellCfg := packet.Config{CellBits: opt.CellBits, BusWidth: model.Tech.BusWidth}
+	queue := router.FIFO
+	if opt.UseVOQ {
+		queue = router.VOQ
+	}
+	r, err := router.New(router.Config{
+		Arch: opt.Architecture.core(),
+		Fabric: fabric.Config{
+			Ports: opt.Ports,
+			Cell:  cellCfg,
+			Model: model,
+		},
+		Queue: queue,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var gen sim.Generator
+	switch opt.Traffic {
+	case UniformTraffic:
+		gen, err = traffic.NewInjector(opt.Ports, opt.OfferedLoad, cellCfg, nil, opt.Seed)
+	case BurstyTraffic:
+		gen, err = traffic.NewOnOffInjector(opt.Ports, opt.MeanBurstSlots, opt.OfferedLoad, cellCfg, nil, opt.Seed)
+	case HotspotTraffic:
+		gen, err = traffic.NewInjector(opt.Ports, opt.OfferedLoad, cellCfg,
+			traffic.Hotspot{Port: opt.HotspotPort, Fraction: opt.HotspotFraction}, opt.Seed)
+	default:
+		return Report{}, fmt.Errorf("fabricpower: unknown traffic kind %d", int(opt.Traffic))
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := sim.Run(r, gen, model.Tech, opt.CellBits, sim.Options{
+		WarmupSlots:  opt.WarmupSlots,
+		MeasureSlots: opt.MeasureSlots,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Throughput:      res.Throughput,
+		AvgLatencySlots: res.AvgLatencySlots,
+		MaxLatencySlots: res.MaxLatencySlots,
+		SwitchMW:        res.Power.SwitchMW,
+		BufferMW:        res.Power.BufferMW,
+		WireMW:          res.Power.WireMW,
+		BufferEvents:    res.BufferEvents,
+		DroppedCells:    res.DroppedCells,
+	}
+	deliveredBits := res.Throughput * float64(opt.Ports) * float64(res.Slots) * float64(opt.CellBits)
+	if deliveredBits > 0 {
+		rep.EnergyPerBitFJ = res.Energy.TotalFJ() / deliveredBits
+	}
+	return rep, nil
+}

@@ -1,0 +1,220 @@
+package fabricpower
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArchitectureNames(t *testing.T) {
+	want := map[Architecture]string{
+		Crossbar:       "crossbar",
+		FullyConnected: "fullyconnected",
+		Banyan:         "banyan",
+		BatcherBanyan:  "batcherbanyan",
+	}
+	for a, name := range want {
+		if a.String() != name {
+			t.Errorf("%d: %q, want %q", int(a), a.String(), name)
+		}
+	}
+	if len(Architectures()) != 4 {
+		t.Fatal("four architectures")
+	}
+}
+
+func TestAnalyticMatchesPaperConstants(t *testing.T) {
+	// Crossbar Eq. 3 at N=16 with the paper's constants:
+	// 16·220 + 8·16·87.12 = 3520 + 11151.4 fJ.
+	b, err := Analytic(Crossbar, 16, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.SwitchFJ-3520) > 1e-9 {
+		t.Fatalf("switch %g", b.SwitchFJ)
+	}
+	if math.Abs(b.WireFJ-8*16*87.12) > 1 {
+		t.Fatalf("wire %g", b.WireFJ)
+	}
+	if b.TotalFJ() != b.SwitchFJ+b.BufferFJ+b.WireFJ {
+		t.Fatal("total")
+	}
+}
+
+func TestAnalyticErrors(t *testing.T) {
+	if _, err := Analytic(Banyan, 6, DefaultModel()); err == nil {
+		t.Fatal("non-power-of-two should fail")
+	}
+	if _, err := Analytic(BatcherBanyan, 2, DefaultModel()); err == nil {
+		t.Fatal("N=2 batcher should fail")
+	}
+}
+
+func TestSimulateQuickstartScenario(t *testing.T) {
+	rep, err := Simulate(Options{
+		Architecture: Banyan,
+		Ports:        16,
+		OfferedLoad:  0.3,
+		MeasureSlots: 1200,
+		WarmupSlots:  150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Throughput-0.3) > 0.04 {
+		t.Fatalf("throughput %g, want ≈0.3", rep.Throughput)
+	}
+	if rep.TotalMW() <= 0 || rep.EnergyPerBitFJ <= 0 {
+		t.Fatal("power and energy per bit must be positive")
+	}
+	if rep.BufferEvents == 0 {
+		t.Fatal("a loaded banyan should buffer")
+	}
+	if rep.BufferMW <= 0 {
+		t.Fatal("buffer power should follow events")
+	}
+}
+
+func TestSimulateContentionFreeFabric(t *testing.T) {
+	rep, err := Simulate(Options{
+		Architecture: Crossbar,
+		Ports:        8,
+		OfferedLoad:  0.4,
+		MeasureSlots: 800,
+		WarmupSlots:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BufferMW != 0 || rep.BufferEvents != 0 {
+		t.Fatal("crossbar must not buffer")
+	}
+}
+
+func TestSimulateRejectsBadOptions(t *testing.T) {
+	if _, err := Simulate(Options{Architecture: Banyan, Ports: 5, OfferedLoad: 0.3}); err == nil {
+		t.Fatal("bad ports should fail")
+	}
+	if _, err := Simulate(Options{Architecture: Crossbar, Ports: 8, OfferedLoad: 2}); err == nil {
+		t.Fatal("bad load should fail")
+	}
+	if _, err := Simulate(Options{Architecture: Crossbar, Ports: 8, OfferedLoad: 0.5, Traffic: TrafficKind(9)}); err == nil {
+		t.Fatal("bad traffic kind should fail")
+	}
+}
+
+func TestSimulateTrafficKinds(t *testing.T) {
+	for _, k := range []TrafficKind{UniformTraffic, BurstyTraffic, HotspotTraffic} {
+		rep, err := Simulate(Options{
+			Architecture: FullyConnected,
+			Ports:        8,
+			OfferedLoad:  0.3,
+			Traffic:      k,
+			MeasureSlots: 600,
+			WarmupSlots:  100,
+		})
+		if err != nil {
+			t.Fatalf("kind %d: %v", int(k), err)
+		}
+		if rep.TotalMW() <= 0 {
+			t.Fatalf("kind %d: no power", int(k))
+		}
+	}
+}
+
+func TestSimulateVOQOption(t *testing.T) {
+	rep, err := Simulate(Options{
+		Architecture: Crossbar,
+		Ports:        8,
+		OfferedLoad:  1.0,
+		UseVOQ:       true,
+		MeasureSlots: 1200,
+		WarmupSlots:  300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < 0.8 {
+		t.Fatalf("VOQ at full load should exceed the FIFO ceiling, got %g", rep.Throughput)
+	}
+}
+
+func TestModelDerivations(t *testing.T) {
+	m, err := DefaultModel().WithTechScaling(0.72, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scaled-down tech must lower analytic energy.
+	base, _ := Analytic(Crossbar, 8, DefaultModel())
+	scaled, _ := Analytic(Crossbar, 8, m)
+	if scaled.WireFJ >= base.WireFJ {
+		t.Fatal("scaling down should reduce wire energy")
+	}
+	if _, err := DefaultModel().WithTechScaling(0, 1); err == nil {
+		t.Fatal("bad scaling should fail")
+	}
+	m2, err := DefaultModel().WithBufferAccesses(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := Analytic(Banyan, 16, DefaultModel())
+	b2, _ := Analytic(Banyan, 16, m2)
+	// Contention-free path has no buffer term, so totals match.
+	if b1.TotalFJ() != b2.TotalFJ() {
+		t.Fatal("buffer accounting should not change the free path")
+	}
+	if _, err := DefaultModel().WithBufferAccesses(5); err == nil {
+		t.Fatal("5 accesses should fail")
+	}
+}
+
+func TestPerWordBufferModelSoftensPenalty(t *testing.T) {
+	perBit, err := Simulate(Options{
+		Architecture: Banyan, Ports: 16, OfferedLoad: 0.5,
+		MeasureSlots: 1000, WarmupSlots: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PerWordBufferModel()
+	perWord, err := Simulate(Options{
+		Architecture: Banyan, Ports: 16, OfferedLoad: 0.5,
+		MeasureSlots: 1000, WarmupSlots: 150, Model: &m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perWord.BufferMW >= perBit.BufferMW/16 {
+		t.Fatalf("per-word buffer power (%g) should be ~32x below per-bit (%g)",
+			perWord.BufferMW, perBit.BufferMW)
+	}
+}
+
+// TestSimulateAgainstAnalytic: at low load on a contention-free fabric the
+// measured energy per bit approaches the analytic worst case scaled by the
+// ~50% flip activity of random payloads.
+func TestSimulateAgainstAnalytic(t *testing.T) {
+	rep, err := Simulate(Options{
+		Architecture: BatcherBanyan,
+		Ports:        16,
+		OfferedLoad:  0.1,
+		MeasureSlots: 1000,
+		WarmupSlots:  150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := Analytic(BatcherBanyan, 16, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured must be below the worst case but the same order of
+	// magnitude (wire flips halve; switch LUTs match).
+	if rep.EnergyPerBitFJ >= analytic.TotalFJ() {
+		t.Fatalf("measured %g fJ should sit below the analytic worst case %g fJ",
+			rep.EnergyPerBitFJ, analytic.TotalFJ())
+	}
+	if rep.EnergyPerBitFJ < 0.3*analytic.TotalFJ() {
+		t.Fatalf("measured %g fJ implausibly far below analytic %g fJ",
+			rep.EnergyPerBitFJ, analytic.TotalFJ())
+	}
+}

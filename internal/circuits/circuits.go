@@ -1,0 +1,277 @@
+// Package circuits builds gate-level netlists for the node switches the
+// paper characterizes in Table 1: the crossbar crosspoint, the 2×2 Banyan
+// binary switch, the 2×2 Batcher sorting switch, and the N-input MUX of
+// the fully-connected fabric. The netlists range from a few dozen to a few
+// thousand gates, mirroring the "few hundred gates to 10K gates" circuits
+// of §5.1, and are consumed by internal/energy's characterizer.
+package circuits
+
+import (
+	"fmt"
+
+	"fabricpower/internal/gates"
+)
+
+// InPort is one packet input of a switch netlist.
+type InPort struct {
+	// Valid indicates a packet occupies this port this cycle.
+	Valid gates.NetID
+	// Data is the payload bus (LSB first).
+	Data []gates.NetID
+	// Dest carries the routing key bits examined by this switch
+	// (one bit for a Banyan stage, a full address for a sorter).
+	// Empty for switches that do not self-route.
+	Dest []gates.NetID
+}
+
+// Switch is a characterizable node-switch netlist with its port bindings.
+type Switch struct {
+	// Name identifies the switch type in reports ("banyan2x2", ...).
+	Name string
+	// Netlist is the underlying gate-level circuit.
+	Netlist *gates.Netlist
+	// In lists the packet input ports.
+	In []InPort
+	// Out lists the output data buses.
+	Out [][]gates.NetID
+	// Sel is the externally driven select bus (MuxN only; nil otherwise).
+	Sel []gates.NetID
+}
+
+// NumInputs returns the number of packet input ports (the LUT vector
+// width).
+func (s *Switch) NumInputs() int { return len(s.In) }
+
+// Crosspoint builds the crossbar crosspoint switch of §4.1: a tri-state
+// buffer per data bit, enabled by a registered select. It has one packet
+// input; the LUT has vectors [0] and [1].
+func Crosspoint(lib *gates.Library, busWidth int) (*Switch, error) {
+	if busWidth < 1 {
+		return nil, fmt.Errorf("circuits: bus width must be >= 1, got %d", busWidth)
+	}
+	n := gates.NewNetlist(lib)
+	valid := n.AddInput("valid")
+	data := n.AddInputBus("d", busWidth)
+	// The arbiter's grant is held for the packet duration.
+	en := n.DFF(valid)
+	out := make([]gates.NetID, busWidth)
+	for i := range out {
+		out[i] = n.Tri(data[i], en)
+		n.MarkOutput(out[i])
+	}
+	return &Switch{
+		Name:    "crosspoint",
+		Netlist: n,
+		In:      []InPort{{Valid: valid, Data: data}},
+		Out:     [][]gates.NetID{out},
+	}, nil
+}
+
+// comparatorGT builds a ripple comparator returning a > b over equal-width
+// buses, MSB last in the slice (LSB-first convention).
+func comparatorGT(n *gates.Netlist, a, b []gates.NetID) (gates.NetID, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return gates.InvalidNet, fmt.Errorf("circuits: comparator needs equal nonzero widths, got %d/%d", len(a), len(b))
+	}
+	gt := n.Const0()
+	eqSoFar := n.Const1()
+	// Walk MSB -> LSB.
+	for i := len(a) - 1; i >= 0; i-- {
+		bi := n.Inv(b[i])
+		aGtB := n.And2(a[i], bi)      // a_i=1, b_i=0
+		term := n.And2(eqSoFar, aGtB) // all higher bits equal
+		gt = n.Or2(gt, term)          // accumulate
+		eq := n.Xnor2(a[i], b[i])     // bits equal
+		eqSoFar = n.And2(eqSoFar, eq) // extend prefix
+	}
+	return gt, nil
+}
+
+// muxBus builds a bus-wide 2:1 mux (out = sel ? b : a).
+func muxBus(n *gates.Netlist, a, b []gates.NetID, sel gates.NetID) []gates.NetID {
+	out := make([]gates.NetID, len(a))
+	for i := range a {
+		out[i] = n.Mux2(a[i], b[i], sel)
+	}
+	return out
+}
+
+// dffBus registers a bus.
+func dffBus(n *gates.Netlist, in []gates.NetID) []gates.NetID {
+	out := make([]gates.NetID, len(in))
+	for i := range in {
+		out[i] = n.DFF(in[i])
+	}
+	return out
+}
+
+// BanyanSwitch builds the 2×2 binary switch of Fig. 2: an allocator that
+// examines one destination bit per input and sets up the two output muxes,
+// holding the allocation in registers, plus a registered payload datapath.
+// The packet with destination bit 0 routes to output 0, bit 1 to output 1;
+// input 0 has priority on conflicts (the loser is buffered outside this
+// netlist — buffering is modeled by internal/sram).
+func BanyanSwitch(lib *gates.Library, busWidth int) (*Switch, error) {
+	if busWidth < 1 {
+		return nil, fmt.Errorf("circuits: bus width must be >= 1, got %d", busWidth)
+	}
+	n := gates.NewNetlist(lib)
+	v0 := n.AddInput("valid0")
+	v1 := n.AddInput("valid1")
+	d0 := n.AddInput("dest0")
+	d1 := n.AddInput("dest1")
+	data0 := n.AddInputBus("a", busWidth)
+	data1 := n.AddInputBus("b", busWidth)
+
+	// Header data path (the allocator of Fig. 2).
+	nd0 := n.Inv(d0)
+	nd1 := n.Inv(d1)
+	in0wants0 := n.And2(v0, nd0)
+	in0wants1 := n.And2(v0, d0)
+	in1wants0 := n.And2(v1, nd1)
+	in1wants1 := n.And2(v1, d1)
+	// Output k takes the input that requested it; input 0 has priority on
+	// conflicts. An unallocated lane steers its mux toward an idle input
+	// when one exists, so it does not track a busy bus; when both inputs
+	// are busy and neither wants this lane (the internal-blocking
+	// configuration) the brief extra toggling is a real effect and is
+	// kept.
+	grant1to0 := n.And2(in1wants0, n.Inv(in0wants0))
+	grant1to1 := n.And2(in1wants1, n.Inv(in0wants1))
+	val0 := n.Or2(in0wants0, in1wants0) // some packet for out 0
+	val1 := n.Or2(in0wants1, in1wants1)
+	idle1 := n.Inv(v1) // input 1 idle -> its bus is quiet
+	sel0 := n.Or2(grant1to0, n.And2(n.Inv(val0), idle1))
+	sel1 := n.Or2(grant1to1, n.And2(n.Inv(val1), idle1))
+	// The allocation is preserved throughout the packet transmission.
+	sel0q := n.DFF(sel0)
+	sel1q := n.DFF(sel1)
+	val0q := n.DFF(val0)
+	val1q := n.DFF(val1)
+	n.Name(val0q, "grant0")
+	n.Name(val1q, "grant1")
+
+	// Payload data path: one output mux and one pipeline register per
+	// lane, the same structure the Batcher sorter uses (its lanes are
+	// wider, which is where its Table 1 premium comes from).
+	out0 := dffBus(n, muxBus(n, data0, data1, sel0q))
+	out1 := dffBus(n, muxBus(n, data0, data1, sel1q))
+	for _, b := range out0 {
+		n.MarkOutput(b)
+	}
+	for _, b := range out1 {
+		n.MarkOutput(b)
+	}
+	return &Switch{
+		Name:    "banyan2x2",
+		Netlist: n,
+		In: []InPort{
+			{Valid: v0, Data: data0, Dest: []gates.NetID{d0}},
+			{Valid: v1, Data: data1, Dest: []gates.NetID{d1}},
+		},
+		Out: [][]gates.NetID{out0, out1},
+	}, nil
+}
+
+// BatcherSwitch builds the 2×2 compare-exchange sorting switch of the
+// Batcher network (§4.4): a full destination-address comparator decides
+// whether to exchange, the decision is registered, and payload, destination
+// and valid all flow through the exchange (the key must travel with the
+// packet through the sorting network). Invalid inputs sort high (+∞) so
+// idle slots drift to the bottom, which is what makes the sorted output
+// compact and the downstream Banyan conflict-free.
+func BatcherSwitch(lib *gates.Library, busWidth, destBits int) (*Switch, error) {
+	if busWidth < 1 || destBits < 1 {
+		return nil, fmt.Errorf("circuits: bus width and dest bits must be >= 1, got %d/%d", busWidth, destBits)
+	}
+	n := gates.NewNetlist(lib)
+	v0 := n.AddInput("valid0")
+	v1 := n.AddInput("valid1")
+	dst0 := n.AddInputBus("dest0_", destBits)
+	dst1 := n.AddInputBus("dest1_", destBits)
+	data0 := n.AddInputBus("a", busWidth)
+	data1 := n.AddInputBus("b", busWidth)
+
+	// Sort key: {invalid, dest} with invalid as MSB so idle ports sort
+	// last.
+	inv0 := n.Inv(v0)
+	inv1 := n.Inv(v1)
+	key0 := append(append([]gates.NetID{}, dst0...), inv0)
+	key1 := append(append([]gates.NetID{}, dst1...), inv1)
+	gt, err := comparatorGT(n, key0, key1)
+	if err != nil {
+		return nil, err
+	}
+	swapQ := n.DFF(gt) // exchange decision held for the packet
+	n.Name(swapQ, "swap")
+
+	// Exchange datapath: payload, destination and valid all swap.
+	lane0 := append(append([]gates.NetID{v0}, dst0...), data0...)
+	lane1 := append(append([]gates.NetID{v1}, dst1...), data1...)
+	out0 := dffBus(n, muxBus(n, lane0, lane1, swapQ))
+	out1 := dffBus(n, muxBus(n, lane1, lane0, swapQ))
+	for _, b := range out0 {
+		n.MarkOutput(b)
+	}
+	for _, b := range out1 {
+		n.MarkOutput(b)
+	}
+	return &Switch{
+		Name:    "batcher2x2",
+		Netlist: n,
+		In: []InPort{
+			{Valid: v0, Data: data0, Dest: dst0},
+			{Valid: v1, Data: data1, Dest: dst1},
+		},
+		Out: [][]gates.NetID{out0, out1},
+	}, nil
+}
+
+// MuxN builds the N-input MUX of the fully-connected fabric (§4.2): a
+// balanced tree of 2:1 muxes per data bit, selected by an externally
+// driven log2(N) select bus (the arbiter's decision). All N input buses
+// load the first tree level, which is why its energy grows with N even
+// though only one input is delivered — matching Table 1's MUX rows.
+func MuxN(lib *gates.Library, busWidth, inputs int) (*Switch, error) {
+	if busWidth < 1 {
+		return nil, fmt.Errorf("circuits: bus width must be >= 1, got %d", busWidth)
+	}
+	if inputs < 2 || inputs&(inputs-1) != 0 {
+		return nil, fmt.Errorf("circuits: MuxN inputs must be a power of two >= 2, got %d", inputs)
+	}
+	n := gates.NewNetlist(lib)
+	selBits := 0
+	for v := inputs; v > 1; v >>= 1 {
+		selBits++
+	}
+	sel := n.AddInputBus("sel", selBits)
+	ports := make([]InPort, inputs)
+	buses := make([][]gates.NetID, inputs)
+	for i := range ports {
+		ports[i] = InPort{
+			Valid: n.AddInput(fmt.Sprintf("valid%d", i)),
+			Data:  n.AddInputBus(fmt.Sprintf("in%d_", i), busWidth),
+		}
+		buses[i] = ports[i].Data
+	}
+	// Tree reduction: level l uses select bit l.
+	level := buses
+	for l := 0; l < selBits; l++ {
+		next := make([][]gates.NetID, len(level)/2)
+		for p := 0; p < len(next); p++ {
+			next[p] = muxBus(n, level[2*p], level[2*p+1], sel[l])
+		}
+		level = next
+	}
+	out := dffBus(n, level[0])
+	for _, b := range out {
+		n.MarkOutput(b)
+	}
+	return &Switch{
+		Name:    fmt.Sprintf("mux%d", inputs),
+		Netlist: n,
+		In:      ports,
+		Out:     [][]gates.NetID{out},
+		Sel:     sel,
+	}, nil
+}

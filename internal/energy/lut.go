@@ -1,0 +1,271 @@
+// Package energy defines the input-vector indexed bit-energy look-up
+// tables at the heart of the paper's node-switch model (§3.1) and the
+// characterizer that regenerates them from gate-level simulation.
+//
+// A switch with n inputs has 2ⁿ input vectors; each vector v maps to the
+// energy the switch consumes per bit-time while its input occupancy is v.
+// The value covers all bits transported concurrently in that state, which
+// is why Table 1's Banyan entry for [1,1] (1821 fJ) is less than twice the
+// [0,1] entry (1080 fJ): processing two packets costs more than one but
+// not twice as much (§3.1's concurrency discount).
+//
+// Two table sources are provided:
+//
+//   - The paper's published Table 1 values (Paper* constructors), used as
+//     the reference characterization so experiments run against the
+//     authors' numbers.
+//
+//   - Characterize, which drives an internal/circuits netlist with random
+//     payload streams per input vector and measures toggle energy with the
+//     internal/gates simulator — the from-scratch substitute for the
+//     Synopsys Power Compiler flow of §5.1. Because an open re-implemented
+//     cell library cannot match a proprietary one absolutely, Calibrate
+//     rescales a characterized table to an anchor entry; relative shape is
+//     preserved.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Vector is an input-occupancy vector: bit i set means a packet is present
+// on input port i this bit-time.
+type Vector uint64
+
+// Popcount returns the number of occupied inputs.
+func (v Vector) Popcount() int { return bits.OnesCount64(uint64(v)) }
+
+// String renders the vector LSB-first like the paper's [a,b] notation.
+func (v Vector) String() string {
+	return fmt.Sprintf("%b", uint64(v))
+}
+
+// Table is an input-vector indexed bit-energy table for one switch type.
+// EnergyFJ returns the switch's energy per bit-time in state v, in fJ.
+type Table interface {
+	Name() string
+	Inputs() int
+	EnergyFJ(v Vector) float64
+}
+
+// DenseLUT stores one energy value per vector; practical for switches with
+// few inputs (2×2 switches, crosspoints), exactly the regime the paper
+// notes keeps 2ⁿ manageable.
+type DenseLUT struct {
+	name   string
+	inputs int
+	fj     []float64
+}
+
+// NewDenseLUT returns a zero-filled dense LUT for a switch with the given
+// number of inputs (must be 1..16).
+func NewDenseLUT(name string, inputs int) (*DenseLUT, error) {
+	if inputs < 1 || inputs > 16 {
+		return nil, fmt.Errorf("energy: dense LUT supports 1..16 inputs, got %d", inputs)
+	}
+	return &DenseLUT{name: name, inputs: inputs, fj: make([]float64, 1<<uint(inputs))}, nil
+}
+
+// Name returns the switch-type name.
+func (l *DenseLUT) Name() string { return l.name }
+
+// Inputs returns the number of input ports.
+func (l *DenseLUT) Inputs() int { return l.inputs }
+
+// Set assigns the energy for one vector.
+func (l *DenseLUT) Set(v Vector, fj float64) error {
+	if int(v) >= len(l.fj) {
+		return fmt.Errorf("energy: vector %v out of range for %d inputs", v, l.inputs)
+	}
+	if fj < 0 {
+		return fmt.Errorf("energy: negative energy %g for vector %v", fj, v)
+	}
+	l.fj[v] = fj
+	return nil
+}
+
+// EnergyFJ returns the energy for vector v (0 for out-of-range vectors).
+func (l *DenseLUT) EnergyFJ(v Vector) float64 {
+	if int(v) >= len(l.fj) {
+		return 0
+	}
+	return l.fj[v]
+}
+
+// PopcountLUT stores one energy value per occupied-input count. It suits
+// wide switches (the N-input MUX) whose energy the paper reports as "very
+// close among different input vectors" for the same occupancy.
+type PopcountLUT struct {
+	name   string
+	inputs int
+	fj     []float64 // indexed by popcount 0..inputs
+}
+
+// NewPopcountLUT returns a zero-filled popcount LUT.
+func NewPopcountLUT(name string, inputs int) (*PopcountLUT, error) {
+	if inputs < 1 || inputs > 64 {
+		return nil, fmt.Errorf("energy: popcount LUT supports 1..64 inputs, got %d", inputs)
+	}
+	return &PopcountLUT{name: name, inputs: inputs, fj: make([]float64, inputs+1)}, nil
+}
+
+// Name returns the switch-type name.
+func (l *PopcountLUT) Name() string { return l.name }
+
+// Inputs returns the number of input ports.
+func (l *PopcountLUT) Inputs() int { return l.inputs }
+
+// SetPopcount assigns the energy for all vectors with k occupied inputs.
+func (l *PopcountLUT) SetPopcount(k int, fj float64) error {
+	if k < 0 || k > l.inputs {
+		return fmt.Errorf("energy: popcount %d out of range 0..%d", k, l.inputs)
+	}
+	if fj < 0 {
+		return fmt.Errorf("energy: negative energy %g for popcount %d", fj, k)
+	}
+	l.fj[k] = fj
+	return nil
+}
+
+// EnergyFJ returns the energy for vector v by its popcount.
+func (l *PopcountLUT) EnergyFJ(v Vector) float64 {
+	k := v.Popcount()
+	if k > l.inputs {
+		k = l.inputs
+	}
+	return l.fj[k]
+}
+
+// Scaled wraps a table, multiplying every entry by a constant factor; it
+// is the result type of Calibrate.
+type Scaled struct {
+	base   Table
+	factor float64
+}
+
+// Name returns the underlying name annotated with the scale factor.
+func (s *Scaled) Name() string { return fmt.Sprintf("%s×%.3g", s.base.Name(), s.factor) }
+
+// Inputs returns the underlying input count.
+func (s *Scaled) Inputs() int { return s.base.Inputs() }
+
+// EnergyFJ returns the scaled energy.
+func (s *Scaled) EnergyFJ(v Vector) float64 { return s.factor * s.base.EnergyFJ(v) }
+
+// Calibrate rescales table t so that EnergyFJ(anchor) equals wantFJ.
+// This is how a re-characterized table is aligned to the paper's absolute
+// numbers while keeping its own relative shape.
+func Calibrate(t Table, anchor Vector, wantFJ float64) (*Scaled, error) {
+	got := t.EnergyFJ(anchor)
+	if got <= 0 {
+		return nil, fmt.Errorf("energy: anchor vector %v has non-positive energy %g", anchor, got)
+	}
+	if wantFJ <= 0 {
+		return nil, fmt.Errorf("energy: anchor target must be positive, got %g", wantFJ)
+	}
+	return &Scaled{base: t, factor: wantFJ / got}, nil
+}
+
+// mustDense builds a dense LUT from literal values, panicking on
+// programmer error (used only for the compiled-in paper tables).
+func mustDense(name string, inputs int, vals map[Vector]float64) *DenseLUT {
+	l, err := NewDenseLUT(name, inputs)
+	if err != nil {
+		panic(err)
+	}
+	for v, fj := range vals {
+		if err := l.Set(v, fj); err != nil {
+			panic(err)
+		}
+	}
+	return l
+}
+
+// PaperCrosspoint returns Table 1's crossbar crosspoint LUT:
+// [0] = 0 fJ, [1] = 220 fJ.
+func PaperCrosspoint() *DenseLUT {
+	return mustDense("crosspoint(paper)", 1, map[Vector]float64{
+		0b0: 0,
+		0b1: 220,
+	})
+}
+
+// PaperBanyan returns Table 1's Banyan 2×2 binary switch LUT:
+// [0,0] = 0, [0,1] = [1,0] = 1080 fJ, [1,1] = 1821 fJ.
+func PaperBanyan() *DenseLUT {
+	return mustDense("banyan2x2(paper)", 2, map[Vector]float64{
+		0b00: 0,
+		0b01: 1080,
+		0b10: 1080,
+		0b11: 1821,
+	})
+}
+
+// PaperBatcher returns Table 1's Batcher 2×2 sorting switch LUT:
+// [0,0] = 0, [0,1] = [1,0] = 1253 fJ, [1,1] = 2025 fJ.
+func PaperBatcher() *DenseLUT {
+	return mustDense("batcher2x2(paper)", 2, map[Vector]float64{
+		0b00: 0,
+		0b01: 1253,
+		0b10: 1253,
+		0b11: 2025,
+	})
+}
+
+// paperMuxFJ lists Table 1's N-input MUX energies.
+var paperMuxFJ = map[int]float64{
+	4:  431,
+	8:  782,
+	16: 1350,
+	32: 2515,
+}
+
+// PaperMuxEnergyFJ returns Table 1's MUX bit energy for an N-input MUX.
+// For port counts the paper does not list, the value is extrapolated on
+// the log-log fit of the published points (the growth is ≈1.8× per
+// doubling of N).
+func PaperMuxEnergyFJ(n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("energy: mux needs at least 2 inputs, got %d", n)
+	}
+	if fj, ok := paperMuxFJ[n]; ok {
+		return fj, nil
+	}
+	// Least-squares fit of ln(E) = a + b·ln(N) over the four points.
+	var sx, sy, sxx, sxy float64
+	cnt := 0.0
+	for k, fj := range paperMuxFJ {
+		x, y := math.Log(float64(k)), math.Log(fj)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		cnt++
+	}
+	b := (cnt*sxy - sx*sy) / (cnt*sxx - sx*sx)
+	a := (sy - b*sx) / cnt
+	return math.Exp(a + b*math.Log(float64(n))), nil
+}
+
+// PaperMux returns Table 1's N-input MUX as a popcount table: 0 when idle
+// and the published (occupancy-independent) energy whenever any packet is
+// present, matching the paper's note that MUX values are very close across
+// input vectors.
+func PaperMux(n int) (*PopcountLUT, error) {
+	fj, err := PaperMuxEnergyFJ(n)
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewPopcountLUT(fmt.Sprintf("mux%d(paper)", n), n)
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= n; k++ {
+		if err := l.SetPopcount(k, fj); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,90 @@
+package energy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// lutJSON is the on-disk form of a bit-energy table: characterized LUTs
+// can be saved by cmd/charlib and loaded into models without re-running
+// the gate-level flow.
+type lutJSON struct {
+	Name   string `json:"name"`
+	Inputs int    `json:"inputs"`
+	Kind   string `json:"kind"` // "dense" | "popcount"
+	// Values is indexed by input vector for dense tables and by
+	// occupied-input count (0..inputs) for popcount tables.
+	Values []float64 `json:"values_fj"`
+}
+
+// WriteJSON serializes a table. Scaled tables are materialized: dense up
+// to 16 inputs, per-popcount beyond.
+func WriteJSON(w io.Writer, t Table) error {
+	if t == nil {
+		return fmt.Errorf("energy: nil table")
+	}
+	out := lutJSON{Name: t.Name(), Inputs: t.Inputs()}
+	switch t.Inputs() {
+	case 0:
+		return fmt.Errorf("energy: table %q has no inputs", t.Name())
+	}
+	if t.Inputs() <= 16 {
+		out.Kind = "dense"
+		out.Values = make([]float64, 1<<uint(t.Inputs()))
+		for v := range out.Values {
+			out.Values[v] = t.EnergyFJ(Vector(v))
+		}
+	} else {
+		out.Kind = "popcount"
+		out.Values = make([]float64, t.Inputs()+1)
+		for k := 0; k <= t.Inputs(); k++ {
+			out.Values[k] = t.EnergyFJ(Vector(1<<uint(k) - 1))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a table written by WriteJSON.
+func ReadJSON(r io.Reader) (Table, error) {
+	var in lutJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("energy: decoding LUT: %w", err)
+	}
+	switch in.Kind {
+	case "dense":
+		if in.Inputs < 1 || in.Inputs > 16 {
+			return nil, fmt.Errorf("energy: dense LUT with %d inputs out of range", in.Inputs)
+		}
+		if len(in.Values) != 1<<uint(in.Inputs) {
+			return nil, fmt.Errorf("energy: dense LUT needs %d values, got %d", 1<<uint(in.Inputs), len(in.Values))
+		}
+		l, err := NewDenseLUT(in.Name, in.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		for v, fj := range in.Values {
+			if err := l.Set(Vector(v), fj); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	case "popcount":
+		if len(in.Values) != in.Inputs+1 {
+			return nil, fmt.Errorf("energy: popcount LUT needs %d values, got %d", in.Inputs+1, len(in.Values))
+		}
+		l, err := NewPopcountLUT(in.Name, in.Inputs)
+		if err != nil {
+			return nil, err
+		}
+		for k, fj := range in.Values {
+			if err := l.SetPopcount(k, fj); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	}
+	return nil, fmt.Errorf("energy: unknown LUT kind %q", in.Kind)
+}

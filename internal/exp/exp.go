@@ -1,0 +1,100 @@
+// Package exp contains the experiment runners that regenerate every table
+// and figure of the paper's evaluation, plus the ablations DESIGN.md calls
+// out. Each runner returns a structured result with Render (text report),
+// and where applicable CSV, so the CLI, the tests and the benchmarks share
+// one implementation.
+//
+// Experiment index (see DESIGN.md §4):
+//
+//	Table 1  — RunTable1: node-switch LUTs, gate-level recharacterization
+//	Table 2  — RunTable2: Banyan shared-SRAM buffer bit energy
+//	§5.1     — TechReport: E_T_bit derivation (87 fJ)
+//	Fig. 9   — RunFig9: power vs throughput, 4 architectures × 4 sizes
+//	Fig. 10  — RunFig10: power vs ports at 50% throughput
+//	Obs. 1   — RunCrossover: Banyan's low-load advantage at 32×32
+//	§5.2/§6  — RunSaturation: input-buffered 58.6% ceiling
+//	Ablations — RunBufferAblation, RunFCWireAblation, RunQueueAblation
+package exp
+
+import (
+	"fmt"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/traffic"
+)
+
+// SimParams carries the shared simulation knobs. The zero value uses
+// paper-calibrated defaults.
+type SimParams struct {
+	// WarmupSlots and MeasureSlots bound each run (defaults 300/3000).
+	WarmupSlots  uint64
+	MeasureSlots uint64
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// CellBits is the fixed cell size (default 1024).
+	CellBits int
+	// Queue selects the ingress discipline (default FIFO, the paper's).
+	Queue router.QueueDiscipline
+}
+
+// WithDefaults fills unset fields.
+func (p SimParams) WithDefaults() SimParams {
+	if p.WarmupSlots == 0 {
+		p.WarmupSlots = 300
+	}
+	if p.MeasureSlots == 0 {
+		p.MeasureSlots = 3000
+	}
+	if p.CellBits == 0 {
+		p.CellBits = 1024
+	}
+	return p
+}
+
+// cellConfig returns the packet geometry for the params.
+func (p SimParams) cellConfig() packet.Config {
+	return packet.Config{CellBits: p.CellBits, BusWidth: 32}
+}
+
+// RunPoint simulates one (architecture, ports, offered load) operating
+// point and returns the measurement. It is the building block every
+// figure runner shares.
+func RunPoint(model core.Model, arch core.Architecture, ports int, load float64, p SimParams) (sim.Result, error) {
+	p = p.WithDefaults()
+	r, err := router.New(router.Config{
+		Arch: arch,
+		Fabric: fabric.Config{
+			Ports: ports,
+			Cell:  p.cellConfig(),
+			Model: model,
+		},
+		Queue: p.Queue,
+	})
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: %v %d ports: %w", arch, ports, err)
+	}
+	gen, err := traffic.NewInjector(ports, load, p.cellConfig(), nil, p.Seed+int64(ports)*1000+int64(load*100))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(r, gen, model.Tech, p.CellBits, sim.Options{
+		WarmupSlots:  p.WarmupSlots,
+		MeasureSlots: p.MeasureSlots,
+	})
+}
+
+// DefaultSizes returns the paper's port configurations (4×4 … 32×32).
+func DefaultSizes() []int { return []int{4, 8, 16, 32} }
+
+// DefaultLoads returns the paper's Fig. 9 throughput sweep, 10%–50%.
+func DefaultLoads() []float64 { return []float64{0.10, 0.20, 0.30, 0.40, 0.50} }
+
+// fmtMW formats a milliwatt value for tables.
+func fmtMW(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtPct formats a fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/plot"
+	"fabricpower/internal/sim"
+)
+
+// Fig9Point is one simulated operating point of Fig. 9.
+type Fig9Point struct {
+	Arch    core.Architecture
+	Ports   int
+	Offered float64
+	Result  sim.Result
+}
+
+// Fig9 holds the full sweep: power consumption under different traffic
+// throughput for every architecture and port configuration.
+type Fig9 struct {
+	Sizes  []int
+	Loads  []float64
+	Points []Fig9Point
+}
+
+// RunFig9 regenerates Fig. 9: for each port configuration and offered
+// load (10–50%), measure the power of all four architectures under the
+// same Bernoulli uniform traffic with input buffering and the FCFS-RR
+// arbiter.
+func RunFig9(model core.Model, sizes []int, loads []float64, p SimParams) (*Fig9, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	if len(loads) == 0 {
+		loads = DefaultLoads()
+	}
+	f := &Fig9{Sizes: sizes, Loads: loads}
+	for _, n := range sizes {
+		for _, arch := range core.Architectures() {
+			if arch == core.BatcherBanyan && n < 4 {
+				continue
+			}
+			for _, load := range loads {
+				res, err := RunPoint(model, arch, n, load, p)
+				if err != nil {
+					return nil, err
+				}
+				f.Points = append(f.Points, Fig9Point{Arch: arch, Ports: n, Offered: load, Result: res})
+			}
+		}
+	}
+	return f, nil
+}
+
+// Series extracts the (measured throughput, total power) curve for one
+// architecture and size.
+func (f *Fig9) Series(arch core.Architecture, ports int) (x, y []float64) {
+	for _, pt := range f.Points {
+		if pt.Arch == arch && pt.Ports == ports {
+			x = append(x, pt.Result.Throughput)
+			y = append(y, pt.Result.Power.TotalMW())
+		}
+	}
+	return x, y
+}
+
+// Point finds a specific operating point.
+func (f *Fig9) Point(arch core.Architecture, ports int, load float64) (Fig9Point, bool) {
+	for _, pt := range f.Points {
+		if pt.Arch == arch && pt.Ports == ports && pt.Offered == load {
+			return pt, true
+		}
+	}
+	return Fig9Point{}, false
+}
+
+// Render writes per-size tables and charts mirroring the four panels of
+// Fig. 9.
+func (f *Fig9) Render(w io.Writer) error {
+	for _, n := range f.Sizes {
+		t := plot.Table{
+			Title:   fmt.Sprintf("Fig. 9 — power vs throughput, %d×%d", n, n),
+			Headers: []string{"arch", "offered", "throughput", "P_switch(mW)", "P_buffer(mW)", "P_wire(mW)", "P_total(mW)", "buffer_events"},
+		}
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("%d×%d power vs throughput", n, n),
+			XLabel: "egress throughput",
+			YLabel: "power mW",
+		}
+		for _, arch := range core.Architectures() {
+			var xs, ys []float64
+			for _, pt := range f.Points {
+				if pt.Arch != arch || pt.Ports != n {
+					continue
+				}
+				r := pt.Result
+				t.AddRow(arch.String(), fmtPct(pt.Offered), fmtPct(r.Throughput),
+					fmtMW(r.Power.SwitchMW), fmtMW(r.Power.BufferMW), fmtMW(r.Power.WireMW),
+					fmtMW(r.Power.TotalMW()), fmt.Sprintf("%d", r.BufferEvents))
+				xs = append(xs, r.Throughput)
+				ys = append(ys, r.Power.TotalMW())
+			}
+			if len(xs) > 0 {
+				chart.Series = append(chart.Series, plot.Series{Name: arch.String(), X: xs, Y: ys})
+			}
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := chart.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the sweep as one flat table.
+func (f *Fig9) CSV(w io.Writer) error {
+	headers := []string{"arch", "ports", "offered", "throughput", "switch_mw", "buffer_mw", "wire_mw", "total_mw", "buffer_events", "avg_latency_slots"}
+	var rows [][]string
+	for _, pt := range f.Points {
+		r := pt.Result
+		rows = append(rows, []string{
+			pt.Arch.String(),
+			fmt.Sprintf("%d", pt.Ports),
+			fmt.Sprintf("%.3f", pt.Offered),
+			fmt.Sprintf("%.5f", r.Throughput),
+			fmt.Sprintf("%.5f", r.Power.SwitchMW),
+			fmt.Sprintf("%.5f", r.Power.BufferMW),
+			fmt.Sprintf("%.5f", r.Power.WireMW),
+			fmt.Sprintf("%.5f", r.Power.TotalMW()),
+			fmt.Sprintf("%d", r.BufferEvents),
+			fmt.Sprintf("%.3f", r.AvgLatencySlots),
+		})
+	}
+	return plot.WriteCSV(w, headers, rows)
+}
+
+// LinearityR2 fits power vs throughput for one curve and returns R² —
+// the quantitative form of §6 observation 3.
+func (f *Fig9) LinearityR2(arch core.Architecture, ports int) (float64, error) {
+	x, y := f.Series(arch, ports)
+	_, _, r2, err := plot.LinearFit(x, y)
+	return r2, err
+}

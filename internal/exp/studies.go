@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/plot"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/traffic"
+)
+
+// Crossover locates the throughput below which the Banyan is the
+// cheapest architecture — §6 observation 1 places it near 35% for 32×32.
+type Crossover struct {
+	Ports  int
+	Loads  []float64
+	Winner []core.Architecture // per load
+	// BanyanCheapestUpTo is the highest swept load where Banyan wins.
+	BanyanCheapestUpTo float64
+}
+
+// RunCrossover sweeps fine-grained loads at one size and records which
+// architecture draws the least power at each.
+func RunCrossover(model core.Model, ports int, loads []float64, p SimParams) (*Crossover, error) {
+	if ports == 0 {
+		ports = 32
+	}
+	if len(loads) == 0 {
+		loads = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+	}
+	c := &Crossover{Ports: ports, Loads: loads}
+	for _, load := range loads {
+		best := core.Architecture(-1)
+		bestP := 0.0
+		for _, arch := range core.Architectures() {
+			res, err := RunPoint(model, arch, ports, load, p)
+			if err != nil {
+				return nil, err
+			}
+			if best < 0 || res.Power.TotalMW() < bestP {
+				best = arch
+				bestP = res.Power.TotalMW()
+			}
+		}
+		c.Winner = append(c.Winner, best)
+		if best == core.Banyan {
+			c.BanyanCheapestUpTo = load
+		}
+	}
+	return c, nil
+}
+
+// Render writes the winner-per-load table.
+func (c *Crossover) Render(w io.Writer) error {
+	t := plot.Table{
+		Title:   fmt.Sprintf("Crossover — cheapest architecture per load, %d×%d", c.Ports, c.Ports),
+		Headers: []string{"load", "cheapest"},
+	}
+	for i, load := range c.Loads {
+		t.AddRow(fmtPct(load), c.Winner[i].String())
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nBanyan is cheapest up to %s throughput (paper: below ≈35%% at 32×32)\n",
+		fmtPct(c.BanyanCheapestUpTo))
+	return err
+}
+
+// Saturation measures egress throughput against offered load, exposing
+// the input-buffered ceiling (≈58.6% asymptotically, §5.2/§6).
+type Saturation struct {
+	Ports   int
+	Offered []float64
+	Egress  []float64
+	// Ceiling is the maximum measured throughput.
+	Ceiling float64
+}
+
+// RunSaturation sweeps offered load 10%…100% on the crossbar (the
+// fabric is irrelevant — the ceiling is a property of input buffering).
+func RunSaturation(model core.Model, ports int, p SimParams) (*Saturation, error) {
+	if ports == 0 {
+		ports = 16
+	}
+	s := &Saturation{Ports: ports}
+	for _, offered := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		res, err := RunPoint(model, core.Crossbar, ports, offered, p)
+		if err != nil {
+			return nil, err
+		}
+		s.Offered = append(s.Offered, offered)
+		s.Egress = append(s.Egress, res.Throughput)
+		if res.Throughput > s.Ceiling {
+			s.Ceiling = res.Throughput
+		}
+	}
+	return s, nil
+}
+
+// Render writes the saturation curve.
+func (s *Saturation) Render(w io.Writer) error {
+	t := plot.Table{
+		Title:   fmt.Sprintf("Saturation — input-buffered throughput ceiling, %d×%d", s.Ports, s.Ports),
+		Headers: []string{"offered", "egress throughput"},
+	}
+	for i := range s.Offered {
+		t.AddRow(fmtPct(s.Offered[i]), fmtPct(s.Egress[i]))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nceiling ≈ %s (theory: 58.6%% as N→∞; finite N sits slightly above)\n", fmtPct(s.Ceiling))
+	return err
+}
+
+// BufferAblation quantifies the Eq. 1 accounting choice: one combined
+// access per buffering event (paper) vs explicit write+read.
+type BufferAblation struct {
+	Ports     int
+	Load      float64
+	OneAccess sim.Result
+	TwoAccess sim.Result
+}
+
+// RunBufferAblation runs the Banyan at one operating point under both
+// accounting rules.
+func RunBufferAblation(model core.Model, ports int, load float64, p SimParams) (*BufferAblation, error) {
+	if ports == 0 {
+		ports = 16
+	}
+	if load == 0 {
+		load = 0.5
+	}
+	one := model
+	one.BufferAccessesPerEvent = 1
+	two := model
+	two.BufferAccessesPerEvent = 2
+	r1, err := RunPoint(one, core.Banyan, ports, load, p)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := RunPoint(two, core.Banyan, ports, load, p)
+	if err != nil {
+		return nil, err
+	}
+	return &BufferAblation{Ports: ports, Load: load, OneAccess: r1, TwoAccess: r2}, nil
+}
+
+// Render writes the comparison.
+func (a *BufferAblation) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Buffer accounting ablation — %d×%d Banyan at %s load\n"+
+			"  1 access/event : buffer %.3f mW, total %.3f mW\n"+
+			"  2 accesses     : buffer %.3f mW, total %.3f mW\n"+
+			"  buffer power doubles exactly; total grows by the buffer share only.\n",
+		a.Ports, a.Ports, fmtPct(a.Load),
+		a.OneAccess.Power.BufferMW, a.OneAccess.Power.TotalMW(),
+		a.TwoAccess.Power.BufferMW, a.TwoAccess.Power.TotalMW())
+	return err
+}
+
+// FCWireAblation quantifies the fully-connected wire model choice:
+// worst-case ½N² (paper Eq. 4) vs routed-average ¼N².
+type FCWireAblation struct {
+	Ports int
+	Load  float64
+	Worst sim.Result
+	Avg   sim.Result
+}
+
+// RunFCWireAblation runs the fully-connected fabric under both wire
+// models.
+func RunFCWireAblation(model core.Model, ports int, load float64, p SimParams) (*FCWireAblation, error) {
+	if ports == 0 {
+		ports = 32
+	}
+	if load == 0 {
+		load = 0.5
+	}
+	p = p.WithDefaults()
+	run := func(avg bool) (sim.Result, error) {
+		r, err := router.New(router.Config{
+			Arch: core.FullyConnected,
+			Fabric: fabric.Config{
+				Ports:          ports,
+				Cell:           p.cellConfig(),
+				Model:          model,
+				FCAverageWires: avg,
+			},
+			Queue: p.Queue,
+		})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		gen, err := traffic.NewInjector(ports, load, p.cellConfig(), nil, p.Seed+77)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(r, gen, model.Tech, p.CellBits, sim.Options{
+			WarmupSlots:  p.WarmupSlots,
+			MeasureSlots: p.MeasureSlots,
+		})
+	}
+	worst, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &FCWireAblation{Ports: ports, Load: load, Worst: worst, Avg: avg}, nil
+}
+
+// Render writes the comparison.
+func (a *FCWireAblation) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Fully-connected wire-model ablation — %d×%d at %s load\n"+
+			"  worst-case ½N² (Eq. 4) : wire %.3f mW, total %.3f mW\n"+
+			"  routed average ¼N²     : wire %.3f mW, total %.3f mW\n",
+		a.Ports, a.Ports, fmtPct(a.Load),
+		a.Worst.Power.WireMW, a.Worst.Power.TotalMW(),
+		a.Avg.Power.WireMW, a.Avg.Power.TotalMW())
+	return err
+}
+
+// QueueAblation compares the paper's FIFO ingress against the VOQ/iSLIP
+// extension at saturation.
+type QueueAblation struct {
+	Ports int
+	FIFO  sim.Result
+	VOQ   sim.Result
+}
+
+// RunQueueAblation saturates both disciplines on the crossbar.
+func RunQueueAblation(model core.Model, ports int, p SimParams) (*QueueAblation, error) {
+	if ports == 0 {
+		ports = 16
+	}
+	pf := p
+	pf.Queue = router.FIFO
+	rf, err := RunPoint(model, core.Crossbar, ports, 1.0, pf)
+	if err != nil {
+		return nil, err
+	}
+	pv := p
+	pv.Queue = router.VOQ
+	rv, err := RunPoint(model, core.Crossbar, ports, 1.0, pv)
+	if err != nil {
+		return nil, err
+	}
+	return &QueueAblation{Ports: ports, FIFO: rf, VOQ: rv}, nil
+}
+
+// Render writes the comparison.
+func (a *QueueAblation) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"Queue-discipline ablation — %d×%d crossbar at 100%% offered load\n"+
+			"  FIFO (paper)   : throughput %s, power %.3f mW\n"+
+			"  VOQ + iSLIP    : throughput %s, power %.3f mW\n"+
+			"  HOL blocking costs throughput, not fabric power per bit.\n",
+		a.Ports, a.Ports,
+		fmtPct(a.FIFO.Throughput), a.FIFO.Power.TotalMW(),
+		fmtPct(a.VOQ.Throughput), a.VOQ.Power.TotalMW())
+	return err
+}

@@ -1,0 +1,210 @@
+package fabric
+
+import (
+	"fabricpower/internal/core"
+	"fabricpower/internal/energy"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/thompson"
+)
+
+// banyan is the self-routing multistage fabric of §4.3, modeled as an
+// omega network (an isomorphic variation of the butterfly, exactly as the
+// paper describes Banyan): n = log₂N stages of N/2 binary switches with a
+// perfect shuffle before each stage. Stage s examines destination bit
+// n−1−s (MSB first).
+//
+// The same interconnect link can be claimed by packets with different
+// destinations — interconnect contention / internal blocking (§3.2). The
+// losing cell is written into the node's shared-SRAM buffer (4 Kbit each,
+// a few cells), charging E_B per bit; buffered cells drain with priority.
+// When a node buffer fills, upstream cells hold their input latches and
+// the backpressure eventually blocks the ingress (no cell loss inside the
+// fabric).
+type banyan struct {
+	cfg   Config
+	dim   int
+	wires thompson.BanyanWires
+
+	// latch[s][l] is the cell sitting on input line l of stage s.
+	latch [][]*packet.Cell
+	// buf[s][k] is node k's buffer FIFO at stage s; entries remember
+	// their output channel.
+	buf [][][]bufEntry
+	// moved flags cells forwarded during the current Step so a cell
+	// advances at most one stage per slot.
+	moved map[*packet.Cell]bool
+	// bank[s] holds the word state of the N output lines of stage s.
+	bank []*wireBank
+
+	bufferCap    int
+	energy       core.Breakdown
+	bufferEvents uint64
+	inFlight     int
+	ebFJ         float64 // buffer energy per bit
+}
+
+type bufEntry struct {
+	cell    *packet.Cell
+	channel int
+}
+
+func newBanyan(cfg Config) (*banyan, error) {
+	dim, err := dimOf(cfg.Ports)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := cfg.Model.BanyanBufferBitEnergyFJ(dim)
+	if err != nil {
+		return nil, err
+	}
+	b := &banyan{
+		cfg:       cfg,
+		dim:       dim,
+		wires:     thompson.BanyanWires{Dimension: dim},
+		latch:     make([][]*packet.Cell, dim),
+		buf:       make([][][]bufEntry, dim),
+		bank:      make([]*wireBank, dim),
+		bufferCap: cfg.bufferCells(),
+		ebFJ:      eb,
+	}
+	for s := 0; s < dim; s++ {
+		b.latch[s] = make([]*packet.Cell, cfg.Ports)
+		b.buf[s] = make([][]bufEntry, cfg.Ports/2)
+		b.bank[s] = newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ())
+	}
+	return b, nil
+}
+
+func (b *banyan) Arch() core.Architecture { return core.Banyan }
+func (b *banyan) Ports() int              { return b.cfg.Ports }
+func (b *banyan) InFlight() int           { return b.inFlight }
+func (b *banyan) Energy() core.Breakdown  { return b.energy }
+func (b *banyan) ResetEnergy()            { b.energy = core.Breakdown{} }
+
+// BufferEvents returns the number of buffering events caused by
+// interconnect contention so far.
+func (b *banyan) BufferEvents() uint64 { return b.bufferEvents }
+
+// shuffle is the perfect shuffle (rotate-left over dim bits).
+func (b *banyan) shuffle(l int) int {
+	n := b.cfg.Ports
+	return ((l << 1) | (l >> uint(b.dim-1))) & (n - 1)
+}
+
+// routeBit returns the output channel cell c takes at stage s.
+func (b *banyan) routeBit(c *packet.Cell, s int) int {
+	return (c.Dest >> uint(b.dim-1-s)) & 1
+}
+
+// Offer places a cell on its stage-0 input latch (after the entry
+// shuffle); false means the ingress is blocked by backpressure.
+func (b *banyan) Offer(c *packet.Cell) bool {
+	if c == nil || c.Src < 0 || c.Src >= b.cfg.Ports || c.Dest < 0 || c.Dest >= b.cfg.Ports {
+		return false
+	}
+	line := b.shuffle(c.Src)
+	if b.latch[0][line] != nil {
+		return false
+	}
+	b.latch[0][line] = c
+	b.inFlight++
+	return true
+}
+
+// Step advances the pipeline one slot, last stage first so freed latches
+// accept upstream cells within the slot (tight pipelining, still one
+// stage per cell per slot thanks to the moved set).
+func (b *banyan) Step(slot uint64) []*packet.Cell {
+	var delivered []*packet.Cell
+	b.moved = make(map[*packet.Cell]bool)
+	cellBits := float64(b.cfg.Cell.CellBits)
+
+	for s := b.dim - 1; s >= 0; s-- {
+		grids := float64(b.wires.StageGrids(s))
+		for k := 0; k < b.cfg.Ports/2; k++ {
+			in0, in1 := 2*k, 2*k+1
+			var vec energy.Vector
+			for o := 0; o < 2; o++ {
+				outLine := 2*k + o
+				// Destination of this channel: egress port for the last
+				// stage, next-stage latch otherwise.
+				targetFree := true
+				targetIdx := 0
+				if s < b.dim-1 {
+					targetIdx = b.shuffle(outLine)
+					targetFree = b.latch[s+1][targetIdx] == nil
+				}
+				// Candidate: buffered cells first (FCFS), then latches in
+				// port order.
+				cell, fromBuffer := b.pickCandidate(s, k, o)
+				if cell == nil || !targetFree {
+					continue
+				}
+				// Commit the move.
+				if fromBuffer {
+					b.buf[s][k] = b.buf[s][k][1:]
+				} else if b.latch[s][in0] == cell {
+					b.latch[s][in0] = nil
+				} else {
+					b.latch[s][in1] = nil
+				}
+				b.moved[cell] = true
+				// Wire energy on the stage-s output link.
+				b.energy.Accumulate(core.WireComponent, b.bank[s].cross(outLine, cell.Payload, grids))
+				if s == b.dim-1 {
+					delivered = append(delivered, cell)
+					b.inFlight--
+				} else {
+					b.latch[s+1][targetIdx] = cell
+				}
+				vec |= 1 << uint(o)
+			}
+			// Node switch energy: LUT entry for the set of concurrently
+			// transported cells this slot.
+			if vec != 0 {
+				b.energy.Accumulate(core.SwitchComponent,
+					b.cfg.Model.Banyan2x2.EnergyFJ(vec)*cellBits)
+			}
+			// Cells still latched at this node now try to park in the
+			// node buffer (interconnect contention or downstream
+			// blocking), freeing the input line for the upstream stage.
+			b.parkLosers(s, k, cellBits)
+		}
+	}
+	return delivered
+}
+
+// pickCandidate returns the next cell for channel o of node k at stage s:
+// the oldest buffered cell for that channel, else the lowest-port latched
+// cell routing to o that has not moved this slot.
+func (b *banyan) pickCandidate(s, k, o int) (*packet.Cell, bool) {
+	if q := b.buf[s][k]; len(q) > 0 && q[0].channel == o {
+		return q[0].cell, true
+	}
+	for _, line := range []int{2 * k, 2*k + 1} {
+		c := b.latch[s][line]
+		if c != nil && !b.moved[c] && b.routeBit(c, s) == o {
+			return c, false
+		}
+	}
+	return nil, false
+}
+
+// parkLosers moves still-latched, not-yet-moved cells of node k into its
+// buffer while capacity remains, charging E_B per bit (one buffering
+// event); cells that do not fit stay latched and block upstream.
+func (b *banyan) parkLosers(s, k int, cellBits float64) {
+	for _, line := range []int{2 * k, 2*k + 1} {
+		c := b.latch[s][line]
+		if c == nil || b.moved[c] {
+			continue
+		}
+		if len(b.buf[s][k]) >= b.bufferCap {
+			continue
+		}
+		b.buf[s][k] = append(b.buf[s][k], bufEntry{cell: c, channel: b.routeBit(c, s)})
+		b.latch[s][line] = nil
+		b.bufferEvents++
+		b.energy.Accumulate(core.BufferComponent, b.ebFJ*cellBits)
+	}
+}

@@ -1,0 +1,396 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testLib(t *testing.T) *Library {
+	t.Helper()
+	lib, err := NewLibrary(2.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestNewLibraryRejectsBadArgs(t *testing.T) {
+	if _, err := NewLibrary(0, 3.3); err == nil {
+		t.Error("zero cap should fail")
+	}
+	if _, err := NewLibrary(2, 0); err == nil {
+		t.Error("zero vdd should fail")
+	}
+	if _, err := NewLibrary(-1, -1); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Inv.String() != "INV" || Dff.String() != "DFF" {
+		t.Fatalf("kind names wrong: %v %v", Inv, Dff)
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func TestCombinationalTruthTables(t *testing.T) {
+	lib := testLib(t)
+	type tc struct {
+		kind Kind
+		fn   func(a, b bool) bool
+	}
+	cases := []tc{
+		{Nand2, func(a, b bool) bool { return !(a && b) }},
+		{Nor2, func(a, b bool) bool { return !(a || b) }},
+		{And2, func(a, b bool) bool { return a && b }},
+		{Or2, func(a, b bool) bool { return a || b }},
+		{Xor2, func(a, b bool) bool { return a != b }},
+		{Xnor2, func(a, b bool) bool { return a == b }},
+	}
+	for _, c := range cases {
+		t.Run(c.kind.String(), func(t *testing.T) {
+			n := NewNetlist(lib)
+			a := n.AddInput("a")
+			b := n.AddInput("b")
+			out, err := n.AddGate(c.kind, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSimulator(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, av := range []bool{false, true} {
+				for _, bv := range []bool{false, true} {
+					s.SetInput(a, av)
+					s.SetInput(b, bv)
+					s.Settle()
+					if got, want := s.Value(out), c.fn(av, bv); got != want {
+						t.Errorf("%v(%v,%v) = %v, want %v", c.kind, av, bv, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInvBufMux(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	sel := n.AddInput("sel")
+	inv := n.Inv(a)
+	buf := n.Buf(a)
+	mux := n.Mux2(a, b, sel)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(a, true)
+	s.SetInput(b, false)
+	s.SetInput(sel, false)
+	s.Settle()
+	if s.Value(inv) || !s.Value(buf) || !s.Value(mux) {
+		t.Fatalf("inv=%v buf=%v mux=%v", s.Value(inv), s.Value(buf), s.Value(mux))
+	}
+	s.SetInput(sel, true)
+	s.Settle()
+	if s.Value(mux) {
+		t.Fatal("mux should select b=false")
+	}
+}
+
+func TestTriStateHolds(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	en := n.AddInput("en")
+	out := n.Tri(a, en)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(a, true)
+	s.SetInput(en, true)
+	s.Settle()
+	if !s.Value(out) {
+		t.Fatal("enabled tri should pass a=1")
+	}
+	s.SetInput(en, false)
+	s.SetInput(a, false)
+	s.Settle()
+	if !s.Value(out) {
+		t.Fatal("disabled tri should hold previous value 1")
+	}
+}
+
+func TestDFFCapturesOnClockEdge(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	d := n.AddInput("d")
+	q := n.DFF(d)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(d, true)
+	s.Settle()
+	if s.Value(q) {
+		t.Fatal("q must not change before clock edge")
+	}
+	s.ClockEdge()
+	if !s.Value(q) {
+		t.Fatal("q must capture d on clock edge")
+	}
+}
+
+// TestShiftRegister verifies flop-to-flop paths sample pre-edge values
+// (a 2-bit shift register takes 2 edges to propagate).
+func TestShiftRegister(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	d := n.AddInput("d")
+	q1 := n.DFF(d)
+	q2 := n.DFF(q1)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(d, true)
+	s.Settle()
+	s.ClockEdge()
+	if !s.Value(q1) || s.Value(q2) {
+		t.Fatalf("after 1 edge: q1=%v q2=%v, want true,false", s.Value(q1), s.Value(q2))
+	}
+	s.ClockEdge()
+	if !s.Value(q2) {
+		t.Fatal("after 2 edges q2 should be true")
+	}
+}
+
+func TestDFFEnHoldsWhenDisabled(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	d := n.AddInput("d")
+	en := n.AddInput("en")
+	q := n.DFFEn(d, en)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetInput(d, true)
+	s.SetInput(en, true)
+	s.Settle()
+	s.ClockEdge()
+	if !s.Value(q) {
+		t.Fatal("enabled flop must capture d=1")
+	}
+	s.SetInput(d, false)
+	s.SetInput(en, false)
+	s.Settle()
+	s.ClockEdge()
+	if !s.Value(q) {
+		t.Fatal("disabled flop must hold q=1")
+	}
+	s.SetInput(en, true)
+	s.Settle()
+	s.ClockEdge()
+	if s.Value(q) {
+		t.Fatal("re-enabled flop must capture d=0")
+	}
+}
+
+func TestAddGateErrors(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	if _, err := n.AddGate(Nand2, a); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := n.AddGate(Kind(50), a); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := n.AddGate(Inv, NetID(999)); err == nil {
+		t.Error("out-of-range net should fail")
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	// Manually create a cycle: g1 = AND(a, g2out), g2 = BUF(g1out).
+	// Build via direct struct editing is not exposed; emulate with a
+	// placeholder net by adding gates then rewiring through the exported
+	// API is impossible — so construct the cycle with Tri feedback
+	// through combinational gates only.
+	g1out, err := n.AddGate(And2, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2out, err := n.AddGate(Buf, g1out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire gate 0's second input to g2out to close the loop.
+	n.gates[0].ins[1] = g2out
+	n.fanout[g2out]++
+	if _, err := NewSimulator(n); err == nil {
+		t.Fatal("combinational cycle must be rejected")
+	}
+}
+
+func TestEnergyMonotoneAndToggleCounting(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	out := n.Inv(a)
+	_ = out
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Settle() // inv output settles 0->1 (a=0): one toggle
+	e0 := s.EnergyFJ()
+	if e0 <= 0 {
+		t.Fatal("initial settle should charge the inverter output toggle")
+	}
+	s.SetInput(a, true)
+	s.Settle()
+	e1 := s.EnergyFJ()
+	if e1 <= e0 {
+		t.Fatal("toggling input must add energy")
+	}
+	// No change -> no energy.
+	s.SetInput(a, true)
+	s.Settle()
+	if s.EnergyFJ() != e1 {
+		t.Fatal("no toggles must add no energy")
+	}
+	if s.Toggles() == 0 {
+		t.Fatal("toggle count missing")
+	}
+	s.ResetEnergy()
+	if s.EnergyFJ() != 0 || s.Toggles() != 0 {
+		t.Fatal("ResetEnergy must clear accumulators")
+	}
+}
+
+func TestBusHelpers(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	bus := n.AddInputBus("data", 8)
+	if len(bus) != 8 {
+		t.Fatalf("bus width %d", len(bus))
+	}
+	if _, ok := n.NetByName("data3"); !ok {
+		t.Fatal("bus nets should be named")
+	}
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBus(bus, 0xA5)
+	s.Settle()
+	if got := s.BusValue(bus); got != 0xA5 {
+		t.Fatalf("bus readback = %#x, want 0xA5", got)
+	}
+}
+
+// TestXorBusEnergyTracksHammingDistance: driving a wide XOR-reduce with
+// values of increasing Hamming distance must increase energy monotonically,
+// since every flipped input charges its pin load.
+func TestInputEnergyTracksHammingDistance(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	bus := n.AddInputBus("d", 16)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBus(bus, 0)
+	s.Settle()
+	s.ResetEnergy()
+	s.SetBus(bus, 0x0001) // 1 flip
+	e1 := s.EnergyFJ()
+	s.ResetEnergy()
+	s.SetBus(bus, 0x0000) // 1 flip back
+	s.ResetEnergy()
+	s.SetBus(bus, 0xFFFF) // 16 flips
+	e16 := s.EnergyFJ()
+	if e16 <= e1 {
+		t.Fatalf("16 flips (%g fJ) should cost more than 1 flip (%g fJ)", e16, e1)
+	}
+}
+
+// Property: for a random small combinational netlist, simulation energy is
+// non-negative and deterministic for the same stimulus.
+func TestSimulationDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		lib, _ := NewLibrary(2, 3.3)
+		build := func() (*Netlist, []NetID) {
+			n := NewNetlist(lib)
+			in := n.AddInputBus("i", 4)
+			x := n.Xor2(in[0], in[1])
+			y := n.And2(in[2], in[3])
+			z := n.Or2(x, y)
+			q := n.DFF(z)
+			n.MarkOutput(q)
+			return n, in
+		}
+		run := func() float64 {
+			n, in := build()
+			s, err := NewSimulator(n)
+			if err != nil {
+				return -1
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for c := 0; c < 50; c++ {
+				s.SetBus(in, rng.Uint64())
+				s.Settle()
+				s.ClockEdge()
+			}
+			return s.EnergyFJ()
+		}
+		e1, e2 := run(), run()
+		return e1 >= 0 && e1 == e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleConvenience(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	d := n.AddInput("d")
+	q := n.DFF(d)
+	s, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cycle(func(sim *Simulator) { sim.SetInput(d, true) })
+	if !s.Value(q) {
+		t.Fatal("Cycle should settle and clock")
+	}
+	s.Cycle(nil) // nil stimulus is allowed
+}
+
+func TestNetCapIncludesFanout(t *testing.T) {
+	lib := testLib(t)
+	n := NewNetlist(lib)
+	a := n.AddInput("a")
+	// Fanout of 3 inverters: cap should exceed single-fanout net.
+	n.Inv(a)
+	n.Inv(a)
+	n.Inv(a)
+	b := n.AddInput("b")
+	n.Inv(b)
+	if ca, cb := n.netCapFF(a), n.netCapFF(b); ca <= cb {
+		t.Fatalf("fanout-3 cap %g should exceed fanout-1 cap %g", ca, cb)
+	}
+}

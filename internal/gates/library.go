@@ -1,0 +1,126 @@
+// Package gates is the gate-level characterization substrate of the
+// reproduction: a small standard-cell library, a netlist builder and a
+// zero-delay cycle simulator with toggle-count power estimation.
+//
+// The paper pre-computes node-switch bit energies with Synopsys Power
+// Compiler on 0.18 µm libraries (§5.1): the switch circuit is simulated
+// under each input vector, switching activity is traced on every gate, and
+// the total energy is averaged per transported bit. This package implements
+// the same flow from scratch: internal/circuits builds the switch netlists,
+// the simulator here traces per-net toggles under random payload streams,
+// and each toggle is charged ½·C·V² with C the sum of the driven pin
+// capacitances, local wire parasitics and the driver's internal
+// capacitance. Zero-delay evaluation is glitch-free, which a commercial
+// estimator is not; the resulting LUTs are therefore calibrated against an
+// anchor value (see internal/energy) before use, exactly as any academic
+// re-characterization would be.
+package gates
+
+import "fmt"
+
+// Kind enumerates the standard cells of the library.
+type Kind int
+
+// Supported cell kinds. DFF is the only sequential cell; everything else
+// is combinational with the obvious function.
+const (
+	Inv Kind = iota
+	Buf
+	Nand2
+	Nor2
+	And2
+	Or2
+	Xor2
+	Xnor2
+	Mux2 // inputs: a, b, sel; out = sel ? b : a
+	Tri  // tri-state buffer; inputs: a, en; out = en ? a : hold
+	Dff  // input: d; output: q, updated on ClockEdge
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2", "MUX2", "TRI", "DFF",
+}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// fanin returns the number of input pins for the kind.
+func (k Kind) fanin() int {
+	switch k {
+	case Inv, Buf, Dff:
+		return 1
+	case Nand2, Nor2, And2, Or2, Xor2, Xnor2, Tri:
+		return 2
+	case Mux2:
+		return 3
+	}
+	return 0
+}
+
+// Cell describes the electrical properties of one library cell in a
+// 0.18 µm-style process. Capacitances are in fF.
+type Cell struct {
+	Kind Kind
+	// PinCapFF is the input capacitance presented by each input pin.
+	PinCapFF []float64
+	// InternalCapFF is the effective internal capacitance switched when
+	// the output toggles (diffusion + internal nodes).
+	InternalCapFF float64
+	// ClockCapFF is the clock pin capacitance (sequential cells only);
+	// charged on every clock edge regardless of data activity.
+	ClockCapFF float64
+}
+
+// Library is a set of cells plus the supply voltage used for ½·C·V².
+type Library struct {
+	VDD   float64
+	cells [numKinds]Cell
+	// LocalWireCapFF is the fixed parasitic added to every net to model
+	// intra-block routing.
+	LocalWireCapFF float64
+}
+
+// NewLibrary builds the default 0.18 µm-flavored library from a unit gate
+// capacitance (fF per minimum inverter input) and supply voltage. Pin and
+// internal capacitances are expressed as multiples of the unit, roughly
+// following relative input loads of a typical 0.18 µm standard-cell book.
+func NewLibrary(unitCapFF, vdd float64) (*Library, error) {
+	if unitCapFF <= 0 || vdd <= 0 {
+		return nil, fmt.Errorf("gates: unit cap and vdd must be positive (got %g, %g)", unitCapFF, vdd)
+	}
+	u := unitCapFF
+	lib := &Library{VDD: vdd, LocalWireCapFF: 0.8 * u}
+	set := func(k Kind, pins []float64, internal, clock float64) {
+		lib.cells[k] = Cell{Kind: k, PinCapFF: pins, InternalCapFF: internal, ClockCapFF: clock}
+	}
+	set(Inv, []float64{1.0 * u}, 0.9*u, 0)
+	set(Buf, []float64{1.0 * u}, 1.6*u, 0)
+	set(Nand2, []float64{1.1 * u, 1.1 * u}, 1.3*u, 0)
+	set(Nor2, []float64{1.2 * u, 1.2 * u}, 1.4*u, 0)
+	set(And2, []float64{1.1 * u, 1.1 * u}, 1.9*u, 0)
+	set(Or2, []float64{1.2 * u, 1.2 * u}, 2.0*u, 0)
+	set(Xor2, []float64{1.6 * u, 1.6 * u}, 2.6*u, 0)
+	set(Xnor2, []float64{1.6 * u, 1.6 * u}, 2.6*u, 0)
+	set(Mux2, []float64{1.2 * u, 1.2 * u, 1.5 * u}, 2.4*u, 0)
+	set(Tri, []float64{1.3 * u, 1.4 * u}, 1.7*u, 0)
+	set(Dff, []float64{1.3 * u}, 3.2*u, 0.9*u)
+	return lib, nil
+}
+
+// Cell returns the library cell for the kind.
+func (l *Library) Cell(k Kind) Cell {
+	if k < 0 || k >= numKinds {
+		return Cell{}
+	}
+	return l.cells[k]
+}
+
+// ToggleEnergyFJ returns the ½·C·V² energy of switching capacitance capFF.
+func (l *Library) ToggleEnergyFJ(capFF float64) float64 {
+	return 0.5 * capFF * l.VDD * l.VDD
+}

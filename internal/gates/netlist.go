@@ -1,0 +1,210 @@
+package gates
+
+import "fmt"
+
+// NetID identifies a net (wire) in a netlist.
+type NetID int
+
+// InvalidNet is returned by failed builder calls.
+const InvalidNet NetID = -1
+
+// gateInst is one instantiated cell.
+type gateInst struct {
+	kind Kind
+	ins  []NetID
+	out  NetID
+}
+
+// Netlist is a gate-level circuit under construction: primary inputs,
+// cell instances and named nets. Build with the Add* methods, then hand to
+// NewSimulator. The two constant nets Const0/Const1 are always present.
+type Netlist struct {
+	lib    *Library
+	gates  []gateInst
+	driver []int // net -> gate index, -1 for PI/consts
+	fanout []int // net -> number of input pins attached (for cap)
+	names  map[string]NetID
+	inputs []NetID
+	outs   []NetID
+	const0 NetID
+	const1 NetID
+}
+
+// NewNetlist returns an empty netlist over the given library.
+func NewNetlist(lib *Library) *Netlist {
+	n := &Netlist{lib: lib, names: make(map[string]NetID)}
+	n.const0 = n.newNet(-1)
+	n.const1 = n.newNet(-1)
+	return n
+}
+
+func (n *Netlist) newNet(driverGate int) NetID {
+	id := NetID(len(n.driver))
+	n.driver = append(n.driver, driverGate)
+	n.fanout = append(n.fanout, 0)
+	return id
+}
+
+// Const0 returns the constant-0 net.
+func (n *Netlist) Const0() NetID { return n.const0 }
+
+// Const1 returns the constant-1 net.
+func (n *Netlist) Const1() NetID { return n.const1 }
+
+// NumNets returns the number of nets, including constants.
+func (n *Netlist) NumNets() int { return len(n.driver) }
+
+// NumGates returns the number of cell instances.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// Inputs returns the primary input nets in creation order.
+func (n *Netlist) Inputs() []NetID { return n.inputs }
+
+// Outputs returns the marked primary output nets.
+func (n *Netlist) Outputs() []NetID { return n.outs }
+
+// AddInput creates a named primary input net.
+func (n *Netlist) AddInput(name string) NetID {
+	id := n.newNet(-1)
+	if name != "" {
+		n.names[name] = id
+	}
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// AddInputBus creates width named inputs name0..name{w-1}, LSB first.
+func (n *Netlist) AddInputBus(name string, width int) []NetID {
+	bus := make([]NetID, width)
+	for i := range bus {
+		bus[i] = n.AddInput(fmt.Sprintf("%s%d", name, i))
+	}
+	return bus
+}
+
+// MarkOutput flags a net as a primary output (for reporting only).
+func (n *Netlist) MarkOutput(id NetID) {
+	n.outs = append(n.outs, id)
+}
+
+// Name attaches a debug name to a net.
+func (n *Netlist) Name(id NetID, name string) {
+	if name != "" {
+		n.names[name] = id
+	}
+}
+
+// NetByName looks up a named net.
+func (n *Netlist) NetByName(name string) (NetID, bool) {
+	id, ok := n.names[name]
+	return id, ok
+}
+
+// AddGate instantiates a cell and returns its output net.
+func (n *Netlist) AddGate(k Kind, ins ...NetID) (NetID, error) {
+	if k < 0 || k >= numKinds {
+		return InvalidNet, fmt.Errorf("gates: unknown kind %d", int(k))
+	}
+	if want := k.fanin(); len(ins) != want {
+		return InvalidNet, fmt.Errorf("gates: %v expects %d inputs, got %d", k, want, len(ins))
+	}
+	for _, in := range ins {
+		if in < 0 || int(in) >= len(n.driver) {
+			return InvalidNet, fmt.Errorf("gates: input net %d out of range", in)
+		}
+	}
+	gi := len(n.gates)
+	out := n.newNet(gi)
+	n.gates = append(n.gates, gateInst{kind: k, ins: append([]NetID(nil), ins...), out: out})
+	for _, in := range ins {
+		n.fanout[in]++
+	}
+	return out, nil
+}
+
+// mustGate is the panic-on-error form used by internal builders whose
+// inputs are correct by construction.
+func (n *Netlist) mustGate(k Kind, ins ...NetID) NetID {
+	out, err := n.AddGate(k, ins...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Inv adds an inverter.
+func (n *Netlist) Inv(a NetID) NetID { return n.mustGate(Inv, a) }
+
+// Buf adds a buffer.
+func (n *Netlist) Buf(a NetID) NetID { return n.mustGate(Buf, a) }
+
+// Nand2 adds a 2-input NAND.
+func (n *Netlist) Nand2(a, b NetID) NetID { return n.mustGate(Nand2, a, b) }
+
+// Nor2 adds a 2-input NOR.
+func (n *Netlist) Nor2(a, b NetID) NetID { return n.mustGate(Nor2, a, b) }
+
+// And2 adds a 2-input AND.
+func (n *Netlist) And2(a, b NetID) NetID { return n.mustGate(And2, a, b) }
+
+// Or2 adds a 2-input OR.
+func (n *Netlist) Or2(a, b NetID) NetID { return n.mustGate(Or2, a, b) }
+
+// Xor2 adds a 2-input XOR.
+func (n *Netlist) Xor2(a, b NetID) NetID { return n.mustGate(Xor2, a, b) }
+
+// Xnor2 adds a 2-input XNOR.
+func (n *Netlist) Xnor2(a, b NetID) NetID { return n.mustGate(Xnor2, a, b) }
+
+// Mux2 adds a 2:1 mux: out = sel ? b : a.
+func (n *Netlist) Mux2(a, b, sel NetID) NetID { return n.mustGate(Mux2, a, b, sel) }
+
+// Tri adds a tri-state buffer: out follows a while en is high, otherwise
+// holds its previous value (bus-keeper semantics for simulation).
+func (n *Netlist) Tri(a, en NetID) NetID { return n.mustGate(Tri, a, en) }
+
+// DFF adds a D flip-flop; q updates to d on Simulator.ClockEdge.
+func (n *Netlist) DFF(d NetID) NetID { return n.mustGate(Dff, d) }
+
+// DFFEn adds an enabled flip-flop: q captures d on the clock edge while en
+// is high and holds otherwise. It is built as q = DFF(mux(q, d, en)) — the
+// standard data-gating (operand isolation) structure of low-power
+// datapaths; the feedback through the register is legal because the DFF
+// breaks the combinational cycle.
+func (n *Netlist) DFFEn(d, en NetID) NetID {
+	q := n.mustGate(Dff, d) // placeholder input, rewired below
+	m := n.mustGate(Mux2, q, d, en)
+	n.rewireInput(int(q), 0, m)
+	return q
+}
+
+// rewireInput repoints one input pin of the gate driving net out. The
+// caller identifies the gate by its output net. Fanout bookkeeping is kept
+// consistent so net capacitances stay correct.
+func (n *Netlist) rewireInput(outNet, pin int, newIn NetID) {
+	gi := n.driver[outNet]
+	old := n.gates[gi].ins[pin]
+	n.gates[gi].ins[pin] = newIn
+	n.fanout[old]--
+	n.fanout[newIn]++
+}
+
+// netCapFF returns the total switched capacitance of a net: attached input
+// pin caps, local wire parasitic, plus the driver's internal cap.
+func (n *Netlist) netCapFF(id NetID) float64 {
+	c := n.lib.LocalWireCapFF
+	// Sum fanout pin caps: walk gates once at simulator build time is
+	// cheaper, but netlists are small; keep it simple and correct here.
+	for _, g := range n.gates {
+		cell := n.lib.Cell(g.kind)
+		for pin, in := range g.ins {
+			if in == id && pin < len(cell.PinCapFF) {
+				c += cell.PinCapFF[pin]
+			}
+		}
+	}
+	if d := n.driver[id]; d >= 0 {
+		c += n.lib.Cell(n.gates[d].kind).InternalCapFF
+	}
+	return c
+}

@@ -1,0 +1,197 @@
+package gates
+
+import "fmt"
+
+// Simulator evaluates a netlist cycle by cycle with zero-delay semantics
+// and accumulates toggle-count switching energy. The intended protocol per
+// cycle is: SetInput/SetBus for new stimulus, Settle to propagate the
+// combinational logic, then ClockEdge to advance sequential state.
+type Simulator struct {
+	n     *Netlist
+	value []bool
+	capFF []float64
+	order []int // combinational gate evaluation order
+	dffs  []int
+
+	energyFJ float64
+	toggles  int64
+}
+
+// NewSimulator levelizes the netlist and returns a simulator with all nets
+// at logic 0 (Const1 at logic 1). Combinational cycles are rejected.
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	s := &Simulator{
+		n:     n,
+		value: make([]bool, n.NumNets()),
+		capFF: make([]float64, n.NumNets()),
+	}
+	for id := range s.capFF {
+		s.capFF[id] = n.netCapFF(NetID(id))
+	}
+	s.value[n.const1] = true
+
+	// Kahn levelization over combinational gates. DFF outputs are state
+	// sources; DFFs are collected separately.
+	indeg := make([]int, n.NumGates())
+	dependents := make([][]int, n.NumNets())
+	for gi, g := range n.gates {
+		if g.kind == Dff {
+			s.dffs = append(s.dffs, gi)
+			continue
+		}
+		for _, in := range g.ins {
+			drv := n.driver[in]
+			if drv >= 0 && n.gates[drv].kind != Dff {
+				indeg[gi]++
+				dependents[in] = append(dependents[in], gi)
+			}
+		}
+	}
+	queue := make([]int, 0, n.NumGates())
+	for gi, g := range n.gates {
+		if g.kind != Dff && indeg[gi] == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, gi)
+		out := n.gates[gi].out
+		for _, dep := range dependents[out] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	comb := 0
+	for _, g := range n.gates {
+		if g.kind != Dff {
+			comb++
+		}
+	}
+	if len(s.order) != comb {
+		return nil, fmt.Errorf("gates: netlist has a combinational cycle (%d of %d gates levelized)", len(s.order), comb)
+	}
+	return s, nil
+}
+
+// setNet updates a net value, charging toggle energy on change.
+func (s *Simulator) setNet(id NetID, v bool) {
+	if s.value[id] == v {
+		return
+	}
+	s.value[id] = v
+	s.energyFJ += s.n.lib.ToggleEnergyFJ(s.capFF[id])
+	s.toggles++
+}
+
+// SetInput drives a primary input net. Energy is charged if it toggles,
+// modeling the upstream driver working into this circuit's input load.
+func (s *Simulator) SetInput(id NetID, v bool) {
+	s.setNet(id, v)
+}
+
+// SetBus drives a bus (LSB first) from the low bits of val.
+func (s *Simulator) SetBus(bus []NetID, val uint64) {
+	for i, id := range bus {
+		s.SetInput(id, val>>uint(i)&1 == 1)
+	}
+}
+
+// eval computes a combinational gate's output from current net values.
+func (s *Simulator) eval(g gateInst) bool {
+	in := func(i int) bool { return s.value[g.ins[i]] }
+	switch g.kind {
+	case Inv:
+		return !in(0)
+	case Buf:
+		return in(0)
+	case Nand2:
+		return !(in(0) && in(1))
+	case Nor2:
+		return !(in(0) || in(1))
+	case And2:
+		return in(0) && in(1)
+	case Or2:
+		return in(0) || in(1)
+	case Xor2:
+		return in(0) != in(1)
+	case Xnor2:
+		return in(0) == in(1)
+	case Mux2:
+		if in(2) {
+			return in(1)
+		}
+		return in(0)
+	case Tri:
+		if in(1) {
+			return in(0)
+		}
+		return s.value[g.out] // bus keeper holds
+	}
+	return false
+}
+
+// Settle propagates the combinational logic once (zero-delay, glitch-free)
+// charging energy for every net that changes value.
+func (s *Simulator) Settle() {
+	for _, gi := range s.order {
+		g := s.n.gates[gi]
+		s.setNet(g.out, s.eval(g))
+	}
+}
+
+// ClockEdge captures every DFF's D into Q, charges clock-pin energy for
+// each flop, and settles the downstream logic.
+func (s *Simulator) ClockEdge() {
+	// Sample first so flop-to-flop paths behave like real registers.
+	sampled := make([]bool, len(s.dffs))
+	for i, gi := range s.dffs {
+		sampled[i] = s.value[s.n.gates[gi].ins[0]]
+	}
+	for i, gi := range s.dffs {
+		g := s.n.gates[gi]
+		cell := s.n.lib.Cell(Dff)
+		s.energyFJ += s.n.lib.ToggleEnergyFJ(cell.ClockCapFF)
+		s.setNet(g.out, sampled[i])
+	}
+	s.Settle()
+}
+
+// Cycle runs one full clock cycle: apply stimulus, settle, clock.
+func (s *Simulator) Cycle(stimulus func(*Simulator)) {
+	if stimulus != nil {
+		stimulus(s)
+	}
+	s.Settle()
+	s.ClockEdge()
+}
+
+// Value reads a net.
+func (s *Simulator) Value(id NetID) bool { return s.value[id] }
+
+// BusValue reads a bus (LSB first) into a uint64.
+func (s *Simulator) BusValue(bus []NetID) uint64 {
+	var v uint64
+	for i, id := range bus {
+		if s.value[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// EnergyFJ returns the accumulated switching energy in fJ.
+func (s *Simulator) EnergyFJ() float64 { return s.energyFJ }
+
+// Toggles returns the accumulated net toggle count.
+func (s *Simulator) Toggles() int64 { return s.toggles }
+
+// ResetEnergy zeroes the energy and toggle accumulators (state and net
+// values are preserved), so warmup cycles can be excluded.
+func (s *Simulator) ResetEnergy() {
+	s.energyFJ = 0
+	s.toggles = 0
+}

@@ -1,0 +1,240 @@
+// Package plot renders experiment results as aligned text tables, ASCII
+// line charts and CSV — the reporting backend for the experiment runners
+// and the CLI.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteCSV emits headers plus rows in RFC-4180-lite form (no quoting
+// needed for our numeric content; commas in cells are rejected).
+func WriteCSV(w io.Writer, headers []string, rows [][]string) error {
+	check := func(cells []string) error {
+		for _, c := range cells {
+			if strings.ContainsAny(c, ",\n\"") {
+				return fmt.Errorf("plot: CSV cell %q needs quoting; use plain cells", c)
+			}
+		}
+		return nil
+	}
+	if err := check(headers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := check(row); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart renders multiple series as an ASCII scatter/line chart, one marker
+// per series.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 20)
+	Series []Series
+	// LogY plots log10(y) (Fig. 9's Banyan curves span decades).
+	LogY bool
+}
+
+var markers = []byte{'x', 'o', '+', '*', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yVal := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := yVal(s.Y[i])
+			if math.IsNaN(y) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return fmt.Errorf("plot: chart %q has no finite points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := yVal(s.Y[i])
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop, yBot := maxY, minY
+	unit := ""
+	if c.LogY {
+		unit = " (log10)"
+	}
+	fmt.Fprintf(&b, "%s%s\n", c.YLabel, unit)
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", yTop)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s%-10.3g%*s\n", "", minX, width-10, fmt.Sprintf("%.3g", maxX))
+	fmt.Fprintf(&b, "%10s%s\n", "", c.XLabel)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LinearFit returns slope, intercept and R² of a least-squares line — used
+// to verify the paper's "power increases almost linearly with throughput"
+// observation.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0, fmt.Errorf("plot: linear fit needs >= 2 equal-length points, got %d/%d", len(x), len(y))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("plot: degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1, nil
+	}
+	ssRes := 0.0
+	for i := range x {
+		d := y[i] - (slope*x[i] + intercept)
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return slope, intercept, r2, nil
+}

@@ -1,0 +1,237 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("longer-name", "22")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("separator line %q", lines[2])
+	}
+	// Column alignment: "value" column starts at the same offset in all
+	// rows.
+	idx := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx, idx2, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := Table{Headers: []string{"a"}}
+	tab.AddRow("x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Fatal("no blank title line expected")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVRejectsUnsafeCells(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a,b"}, nil); err == nil {
+		t.Fatal("comma in header should fail")
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]string{{"x\ny"}}); err == nil {
+		t.Fatal("newline in cell should fail")
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]string{{`"q"`}}); err == nil {
+		t.Fatal("quote in cell should fail")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := Chart{
+		Title:  "curve",
+		XLabel: "x",
+		YLabel: "y",
+		Width:  32,
+		Height: 8,
+		Series: []Series{
+			{Name: "lin", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+			{Name: "quad", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"curve", "x = lin", "o = quad", "y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	// Both markers appear in the grid.
+	if !strings.Contains(out, "x") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := Chart{
+		LogY:   true,
+		Width:  16,
+		Height: 6,
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{1, 100, 10000}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(log10)") {
+		t.Error("log axis label missing")
+	}
+}
+
+func TestChartLogYSkipsNonPositive(t *testing.T) {
+	c := Chart{
+		LogY:   true,
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0, 10}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartEmptyFails(t *testing.T) {
+	c := Chart{}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("empty chart should fail")
+	}
+	c2 := Chart{LogY: true, Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{-1}}}}
+	if err := c2.Render(&buf); err == nil {
+		t.Fatal("all-nonpositive log chart should fail")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit: %g, %g", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("r2 = %g", r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{0.1, 0.9, 2.2, 2.8, 4.1}
+	_, _, r2, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.95 {
+		t.Fatalf("near-linear data should fit well, r2 = %g", r2)
+	}
+}
+
+func TestLinearFitQuadraticHasLowerR2(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5}
+	lin := make([]float64, len(x))
+	quad := make([]float64, len(x))
+	for i, v := range x {
+		lin[i] = 3 * v
+		quad[i] = v * v * v
+	}
+	_, _, r2lin, _ := LinearFit(x, lin)
+	_, _, r2quad, _ := LinearFit(x, quad)
+	if r2quad >= r2lin {
+		t.Fatalf("cubic (%g) should fit a line worse than linear (%g)", r2quad, r2lin)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x should fail")
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	_, _, r2, err := LinearFit([]float64{0, 1, 2}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != 1 {
+		t.Fatalf("constant data fits perfectly, r2 = %g", r2)
+	}
+}
+
+// Property: LinearFit recovers any non-degenerate line exactly.
+func TestLinearFitProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		slope := float64(a8) / 4
+		intercept := float64(b8) / 2
+		x := []float64{-2, -1, 0, 1, 2, 5}
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = slope*v + intercept
+		}
+		s, ic, r2, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s-slope) < 1e-9 && math.Abs(ic-intercept) < 1e-9 && r2 > 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package router assembles the full network router of the paper's Fig. 1:
+// ingress process units with input buffers, the arbitration unit, the
+// switch fabric, and egress process units that reassemble packets and
+// measure throughput.
+//
+// Per §5.2, the input buffers live at the ingress process units — outside
+// the switch fabric — so their energy is not charged to the fabric power
+// account. The arbiter resolves destination contention before cells enter
+// the fabric; the theoretical maximum throughput of this input-buffered
+// organization is 58.6%, which the saturation experiment reproduces.
+package router
+
+import (
+	"fmt"
+
+	"fabricpower/internal/arbiter"
+	"fabricpower/internal/core"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/packet"
+)
+
+// QueueDiscipline selects the ingress queue organization.
+type QueueDiscipline int
+
+const (
+	// FIFO is the paper's single queue per ingress port (head-of-line
+	// blocking limits saturation throughput to ≈58.6%).
+	FIFO QueueDiscipline = iota
+	// VOQ uses virtual output queues with iSLIP matching — the extension
+	// discipline without HOL blocking.
+	VOQ
+)
+
+func (q QueueDiscipline) String() string {
+	switch q {
+	case FIFO:
+		return "fifo"
+	case VOQ:
+		return "voq"
+	}
+	return fmt.Sprintf("QueueDiscipline(%d)", int(q))
+}
+
+// Config assembles a router.
+type Config struct {
+	// Arch selects the switch fabric architecture.
+	Arch core.Architecture
+	// Fabric configures the fabric model.
+	Fabric fabric.Config
+	// Queue selects the ingress discipline (FIFO = paper).
+	Queue QueueDiscipline
+	// MaxQueueCells caps each ingress queue; 0 means unbounded. Cells
+	// arriving at a full queue are dropped and counted.
+	MaxQueueCells int
+	// ISLIPIterations configures the VOQ matcher (default 2).
+	ISLIPIterations int
+}
+
+// Metrics aggregates what the egress units measure.
+type Metrics struct {
+	// InjectedCells counts cells presented to the ingress units.
+	InjectedCells uint64
+	// AcceptedCells counts cells that entered an ingress queue.
+	AcceptedCells uint64
+	// DroppedCells counts ingress-queue overflows.
+	DroppedCells uint64
+	// DeliveredCells and DeliveredBits count egress arrivals.
+	DeliveredCells uint64
+	DeliveredBits  uint64
+	// LatencySlots accumulates (delivery slot − creation slot) for the
+	// average; MaxLatency tracks the worst cell.
+	LatencySlots uint64
+	MaxLatency   uint64
+	// PerEgressCells counts arrivals per output port.
+	PerEgressCells []uint64
+}
+
+// AvgLatency returns the mean cell latency in slots.
+func (m Metrics) AvgLatency() float64 {
+	if m.DeliveredCells == 0 {
+		return 0
+	}
+	return float64(m.LatencySlots) / float64(m.DeliveredCells)
+}
+
+// Throughput returns the egress throughput as the fraction of the
+// aggregate port capacity used over the given measured slots (the paper's
+// x-axis in Fig. 9).
+func (m Metrics) Throughput(ports int, slots uint64) float64 {
+	if ports == 0 || slots == 0 {
+		return 0
+	}
+	return float64(m.DeliveredCells) / float64(uint64(ports)*slots)
+}
+
+// Router is the assembled device.
+type Router struct {
+	cfg Config
+	fab fabric.Fabric
+
+	// FIFO discipline state.
+	fifoQ    [][]*packet.Cell
+	arbFCFS  *arbiter.FCFSRR
+	arrivals [][]uint64 // arrival slot per queued cell (parallel to fifoQ)
+
+	// VOQ discipline state.
+	voq     [][][]*packet.Cell // [ingress][egress] queue
+	arbSLIP *arbiter.ISLIP
+
+	metrics Metrics
+}
+
+// New builds a router with the given configuration.
+func New(cfg Config) (*Router, error) {
+	fab, err := fabric.New(cfg.Arch, cfg.Fabric)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxQueueCells < 0 {
+		return nil, fmt.Errorf("router: max queue must be >= 0, got %d", cfg.MaxQueueCells)
+	}
+	r := &Router{
+		cfg: cfg,
+		fab: fab,
+	}
+	n := cfg.Fabric.Ports
+	r.metrics.PerEgressCells = make([]uint64, n)
+	switch cfg.Queue {
+	case FIFO:
+		r.fifoQ = make([][]*packet.Cell, n)
+		r.arrivals = make([][]uint64, n)
+		r.arbFCFS = arbiter.NewFCFSRR()
+	case VOQ:
+		iters := cfg.ISLIPIterations
+		if iters <= 0 {
+			iters = 2
+		}
+		r.voq = make([][][]*packet.Cell, n)
+		for i := range r.voq {
+			r.voq[i] = make([][]*packet.Cell, n)
+		}
+		r.arbSLIP, err = arbiter.NewISLIP(n, iters)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("router: unknown queue discipline %v", cfg.Queue)
+	}
+	return r, nil
+}
+
+// Ports returns the port count.
+func (r *Router) Ports() int { return r.cfg.Fabric.Ports }
+
+// Fabric exposes the underlying fabric (for energy readout).
+func (r *Router) Fabric() fabric.Fabric { return r.fab }
+
+// Metrics returns a copy of the egress measurements.
+func (r *Router) Metrics() Metrics { return r.metrics }
+
+// ResetMetrics zeroes the egress measurements (queue and fabric state are
+// preserved), so warmup can be excluded.
+func (r *Router) ResetMetrics() {
+	per := make([]uint64, len(r.metrics.PerEgressCells))
+	r.metrics = Metrics{PerEgressCells: per}
+}
+
+// QueuedCells returns the number of cells waiting in ingress queues.
+func (r *Router) QueuedCells() int {
+	total := 0
+	if r.cfg.Queue == FIFO {
+		for _, q := range r.fifoQ {
+			total += len(q)
+		}
+		return total
+	}
+	for _, per := range r.voq {
+		for _, q := range per {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// InFlight returns cells inside the fabric.
+func (r *Router) InFlight() int { return r.fab.InFlight() }
+
+// Inject presents a cell to its ingress unit at the given slot. It
+// returns false when the ingress queue is full (the cell is dropped and
+// counted).
+func (r *Router) Inject(c *packet.Cell, slot uint64) bool {
+	r.metrics.InjectedCells++
+	if c.Src < 0 || c.Src >= r.Ports() || c.Dest < 0 || c.Dest >= r.Ports() {
+		r.metrics.DroppedCells++
+		return false
+	}
+	if r.cfg.Queue == FIFO {
+		if r.cfg.MaxQueueCells > 0 && len(r.fifoQ[c.Src]) >= r.cfg.MaxQueueCells {
+			r.metrics.DroppedCells++
+			return false
+		}
+		r.fifoQ[c.Src] = append(r.fifoQ[c.Src], c)
+		r.arrivals[c.Src] = append(r.arrivals[c.Src], slot)
+		r.metrics.AcceptedCells++
+		return true
+	}
+	if r.cfg.MaxQueueCells > 0 && len(r.voq[c.Src][c.Dest]) >= r.cfg.MaxQueueCells {
+		r.metrics.DroppedCells++
+		return false
+	}
+	r.voq[c.Src][c.Dest] = append(r.voq[c.Src][c.Dest], c)
+	r.metrics.AcceptedCells++
+	return true
+}
+
+// Step runs one slot: arbitration, fabric admission, fabric transport,
+// and egress accounting. It returns the cells delivered this slot.
+func (r *Router) Step(slot uint64) []*packet.Cell {
+	switch r.cfg.Queue {
+	case FIFO:
+		r.admitFIFO(slot)
+	case VOQ:
+		r.admitVOQ(slot)
+	}
+	delivered := r.fab.Step(slot)
+	for _, c := range delivered {
+		r.metrics.DeliveredCells++
+		r.metrics.DeliveredBits += uint64(c.Bits())
+		lat := slot - c.CreatedSlot
+		r.metrics.LatencySlots += lat
+		if lat > r.metrics.MaxLatency {
+			r.metrics.MaxLatency = lat
+		}
+		if c.Dest >= 0 && c.Dest < len(r.metrics.PerEgressCells) {
+			r.metrics.PerEgressCells[c.Dest]++
+		}
+	}
+	return delivered
+}
+
+// admitFIFO requests grants for queue heads and offers winners to the
+// fabric; losers and refused cells stay at their heads (HOL blocking).
+func (r *Router) admitFIFO(slot uint64) {
+	var reqs []arbiter.Request
+	for p, q := range r.fifoQ {
+		if len(q) == 0 {
+			continue
+		}
+		reqs = append(reqs, arbiter.Request{
+			Port:    p,
+			Dest:    q[0].Dest,
+			Arrival: r.arrivals[p][0],
+		})
+	}
+	for _, gi := range r.arbFCFS.Grant(reqs, slot) {
+		p := reqs[gi].Port
+		cell := r.fifoQ[p][0]
+		if r.fab.Offer(cell) {
+			r.fifoQ[p] = r.fifoQ[p][1:]
+			r.arrivals[p] = r.arrivals[p][1:]
+		}
+	}
+}
+
+// admitVOQ matches VOQ occupancy with iSLIP and offers matched heads.
+func (r *Router) admitVOQ(slot uint64) {
+	n := r.Ports()
+	req := make([][]bool, n)
+	for i := range req {
+		req[i] = make([]bool, n)
+		for j := range req[i] {
+			req[i][j] = len(r.voq[i][j]) > 0
+		}
+	}
+	match, err := r.arbSLIP.Match(req)
+	if err != nil {
+		// Matrix dimensions are fixed at construction; an error here is
+		// a programming bug, not a runtime condition.
+		panic(err)
+	}
+	for i, o := range match {
+		if o < 0 {
+			continue
+		}
+		cell := r.voq[i][o][0]
+		if r.fab.Offer(cell) {
+			r.voq[i][o] = r.voq[i][o][1:]
+		}
+	}
+}

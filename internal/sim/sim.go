@@ -1,0 +1,142 @@
+// Package sim is the time-domain simulation kernel of the platform
+// (§5.2): it drives a traffic generator into a router slot by slot,
+// excludes a warmup phase, measures egress throughput and latency, and
+// converts the fabric's accumulated bit energies into power using the
+// cell time on the serial line (100BaseT in the paper's case study).
+package sim
+
+import (
+	"fmt"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
+	"fabricpower/internal/tech"
+)
+
+// Generator produces the cells injected at each slot (implemented by
+// internal/traffic's injectors and trace players).
+type Generator interface {
+	Generate(slot uint64) []*packet.Cell
+}
+
+// Options controls a run.
+type Options struct {
+	// WarmupSlots run before measurement starts (queues and pipelines
+	// fill; energy and metrics are reset afterwards). Default 200.
+	WarmupSlots uint64
+	// MeasureSlots is the measured window length. Default 2000.
+	MeasureSlots uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.WarmupSlots == 0 {
+		o.WarmupSlots = 200
+	}
+	if o.MeasureSlots == 0 {
+		o.MeasureSlots = 2000
+	}
+	return o
+}
+
+// Power is a per-component power report in milliwatts.
+type Power struct {
+	SwitchMW float64
+	BufferMW float64
+	WireMW   float64
+}
+
+// TotalMW sums the components.
+func (p Power) TotalMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW }
+
+// Result is one simulation measurement.
+type Result struct {
+	// Arch and Ports identify the configuration.
+	Arch  core.Architecture
+	Ports int
+	// Slots is the measured window.
+	Slots uint64
+	// Throughput is the measured egress throughput (fraction of
+	// aggregate port capacity), the paper's x-axis.
+	Throughput float64
+	// AvgLatencySlots and MaxLatencySlots summarize cell latency.
+	AvgLatencySlots float64
+	MaxLatencySlots uint64
+	// Energy is the fabric's energy breakdown over the window.
+	Energy core.Breakdown
+	// Power is Energy divided by the window's wall-clock time.
+	Power Power
+	// BufferEvents counts fabric-internal bufferings (Banyan only).
+	BufferEvents uint64
+	// DroppedCells counts ingress-queue overflows.
+	DroppedCells uint64
+	// QueuedCells is the ingress backlog at the end of the window (a
+	// saturation indicator).
+	QueuedCells int
+}
+
+// bufferEventCounter is implemented by fabrics with internal buffers.
+type bufferEventCounter interface {
+	BufferEvents() uint64
+}
+
+// Run drives the generator through the router for warmup plus measure
+// slots and reports the measured window.
+func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Options) (Result, error) {
+	if r == nil || gen == nil {
+		return Result{}, fmt.Errorf("sim: router and generator are required")
+	}
+	if err := tp.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cellBits <= 0 {
+		return Result{}, fmt.Errorf("sim: cell bits must be positive, got %d", cellBits)
+	}
+	opt = opt.withDefaults()
+
+	slot := uint64(0)
+	for ; slot < opt.WarmupSlots; slot++ {
+		for _, c := range gen.Generate(slot) {
+			r.Inject(c, slot)
+		}
+		r.Step(slot)
+	}
+	r.ResetMetrics()
+	r.Fabric().ResetEnergy()
+	var bufferBase uint64
+	if bc, ok := r.Fabric().(bufferEventCounter); ok {
+		bufferBase = bc.BufferEvents()
+	}
+
+	end := opt.WarmupSlots + opt.MeasureSlots
+	for ; slot < end; slot++ {
+		for _, c := range gen.Generate(slot) {
+			r.Inject(c, slot)
+		}
+		r.Step(slot)
+	}
+
+	m := r.Metrics()
+	e := r.Fabric().Energy()
+	durationNS := float64(opt.MeasureSlots) * tp.CellTimeNS(cellBits)
+	res := Result{
+		Arch:            r.Fabric().Arch(),
+		Ports:           r.Ports(),
+		Slots:           opt.MeasureSlots,
+		Throughput:      m.Throughput(r.Ports(), opt.MeasureSlots),
+		AvgLatencySlots: m.AvgLatency(),
+		MaxLatencySlots: m.MaxLatency,
+		Energy:          e,
+		Power: Power{
+			SwitchMW: tech.PowerMW(e.SwitchFJ, durationNS),
+			BufferMW: tech.PowerMW(e.BufferFJ, durationNS),
+			WireMW:   tech.PowerMW(e.WireFJ, durationNS),
+		},
+		DroppedCells: m.DroppedCells,
+		QueuedCells:  r.QueuedCells(),
+	}
+	if bc, ok := r.Fabric().(bufferEventCounter); ok {
+		res.BufferEvents = bc.BufferEvents() - bufferBase
+	}
+	return res, nil
+}

@@ -1,0 +1,181 @@
+// Package tech holds the process-technology parameters the bit-energy
+// framework is calibrated against, and derives the per-Thompson-grid wire
+// bit energy E_T_bit from them.
+//
+// The reproduction targets the paper's case study: a 0.18 µm process at
+// 3.3 V I/O voltage, 32-bit global buses with 1 µm wire pitch (so one
+// Thompson grid is 32 µm on a side), and a global-wire capacitance of
+// 0.50 fF/µm following Ho, Mai and Horowitz, "The Future of Wires". With
+// these values E_T_bit evaluates to 87.1 fJ, matching §5.1 of the paper.
+//
+// All energies in this code base are expressed in femtojoules (fJ) unless a
+// name says otherwise, all lengths in micrometers (µm), capacitances in
+// femtofarads (fF) and times in nanoseconds (ns). Keeping a single unit
+// system in integers/floats avoids a whole class of unit-confusion bugs in
+// the energy ledger.
+package tech
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params describes one technology operating point. The zero value is not
+// usable; start from Default180nm (the paper's case study) or fill in every
+// field.
+type Params struct {
+	// Name identifies the operating point in reports.
+	Name string
+
+	// FeatureNM is the drawn feature size in nanometers (180 for the
+	// paper's 0.18 µm process). Informational; scaling helpers use it.
+	FeatureNM float64
+
+	// VDD is the rail-to-rail supply voltage in volts. The paper's case
+	// study uses the 3.3 V I/O rail for global wires and memories.
+	VDD float64
+
+	// WireCapPerUM is the global-wire capacitance per micrometer of
+	// length, in fF/µm (0.50 for 0.18 µm global wires per Ho et al.).
+	WireCapPerUM float64
+
+	// BusWidth is the data-path width in bits; the ingress unit
+	// parallelizes the serial line into this bus (32 in the paper).
+	BusWidth int
+
+	// WirePitchUM is the pitch of one bus wire in µm (≈1 µm for global
+	// buses in 0.18 µm). A Thompson grid holds one full bus, so the grid
+	// side is BusWidth × WirePitchUM.
+	WirePitchUM float64
+
+	// ClockMHz is the fabric/memory operating frequency (133 MHz in the
+	// paper's SRAM reference).
+	ClockMHz float64
+
+	// LineRateMbps is the per-port serial line rate; the paper assumes
+	// 100BaseT (100 Mbit/s).
+	LineRateMbps float64
+
+	// GateCapFF is the input capacitance of a minimum-size inverter
+	// gate, in fF. Used by the gate-level characterization substrate.
+	// 0.18 µm minimum inverters are around 2 fF.
+	GateCapFF float64
+}
+
+// Default180nm returns the technology point used throughout the paper's
+// case study (§5.1).
+func Default180nm() Params {
+	return Params{
+		Name:         "generic-0.18um-3.3V",
+		FeatureNM:    180,
+		VDD:          3.3,
+		WireCapPerUM: 0.50,
+		BusWidth:     32,
+		WirePitchUM:  1.0,
+		ClockMHz:     133,
+		LineRateMbps: 100,
+		GateCapFF:    2.0,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.VDD <= 0:
+		return fmt.Errorf("tech: VDD must be positive, got %g", p.VDD)
+	case p.WireCapPerUM <= 0:
+		return fmt.Errorf("tech: wire capacitance must be positive, got %g", p.WireCapPerUM)
+	case p.BusWidth <= 0:
+		return fmt.Errorf("tech: bus width must be positive, got %d", p.BusWidth)
+	case p.WirePitchUM <= 0:
+		return fmt.Errorf("tech: wire pitch must be positive, got %g", p.WirePitchUM)
+	case p.ClockMHz <= 0:
+		return fmt.Errorf("tech: clock must be positive, got %g", p.ClockMHz)
+	case p.LineRateMbps <= 0:
+		return fmt.Errorf("tech: line rate must be positive, got %g", p.LineRateMbps)
+	case p.GateCapFF <= 0:
+		return fmt.Errorf("tech: gate capacitance must be positive, got %g", p.GateCapFF)
+	}
+	return nil
+}
+
+// GridSideUM returns the side length of one Thompson grid in µm. One grid
+// square carries a full bus: BusWidth wires at WirePitchUM pitch.
+func (p Params) GridSideUM() float64 {
+	return float64(p.BusWidth) * p.WirePitchUM
+}
+
+// WireCapFF returns the capacitance, in fF, of a single bit line of the
+// given length in µm (wire component only; receiver gate loads are added
+// separately by callers that know the fanout).
+func (p Params) WireCapFF(lengthUM float64) float64 {
+	return p.WireCapPerUM * lengthUM
+}
+
+// SwitchEnergyFJ returns the ½·C·V² energy, in fJ, of charging or
+// discharging the given capacitance (fF) across the full rail.
+//
+// fF × V² = fJ, so no unit conversion is needed.
+func (p Params) SwitchEnergyFJ(capFF float64) float64 {
+	return 0.5 * capFF * p.VDD * p.VDD
+}
+
+// ETBitFJ returns E_T_bit: the energy one bit pays to flip a wire segment
+// one Thompson grid long (paper §5.1; 87 fJ at the default point).
+//
+// The grid side is the bus pitch (BusWidth·WirePitchUM); one *bit line* of
+// that length has capacitance WireCapPerUM × side.
+func (p Params) ETBitFJ() float64 {
+	return p.SwitchEnergyFJ(p.WireCapFF(p.GridSideUM()))
+}
+
+// WireBitEnergyFJ returns E_W_bit for a wire spanning m Thompson grids:
+// m × E_T_bit (paper §3.4). m may be fractional for refined layouts.
+func (p Params) WireBitEnergyFJ(grids float64) float64 {
+	if grids < 0 {
+		return 0
+	}
+	return grids * p.ETBitFJ()
+}
+
+// CellTimeNS returns the duration, in ns, of one fixed-size cell of
+// cellBits on the serial line at LineRateMbps. This is the slot length the
+// power denominator uses: power = energy per slot / CellTimeNS.
+func (p Params) CellTimeNS(cellBits int) float64 {
+	// bits / (Mbit/s) = µs; ×1000 → ns.
+	return float64(cellBits) / p.LineRateMbps * 1000.0
+}
+
+// ClockPeriodNS returns the fabric clock period in ns.
+func (p Params) ClockPeriodNS() float64 {
+	return 1000.0 / p.ClockMHz
+}
+
+// PowerMW converts an energy total (fJ) spent over a duration (ns) into
+// milliwatts. fJ/ns = µW, so the result is scaled by 1e-3.
+func PowerMW(energyFJ, durationNS float64) float64 {
+	if durationNS <= 0 {
+		return 0
+	}
+	return energyFJ / durationNS * 1e-3
+}
+
+// ErrBadScale is returned by Scaled for non-positive scale factors.
+var ErrBadScale = errors.New("tech: scale factor must be positive")
+
+// Scaled returns a copy of p with constant-field scaling applied: feature
+// size, wire capacitance and gate capacitance scale by s, voltage by sv.
+// It is a convenience for what-if studies (e.g. a 0.13 µm shrink) and does
+// not attempt full constant-field accuracy.
+func (p Params) Scaled(s, sv float64) (Params, error) {
+	if s <= 0 || sv <= 0 {
+		return Params{}, ErrBadScale
+	}
+	q := p
+	q.Name = fmt.Sprintf("%s-scaled(%.2f,%.2f)", p.Name, s, sv)
+	q.FeatureNM *= s
+	q.WireCapPerUM *= s
+	q.GateCapFF *= s
+	q.VDD *= sv
+	return q, nil
+}

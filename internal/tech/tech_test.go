@@ -1,0 +1,140 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default180nm().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	base := Default180nm()
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero vdd", func(p *Params) { p.VDD = 0 }},
+		{"negative vdd", func(p *Params) { p.VDD = -1 }},
+		{"zero wirecap", func(p *Params) { p.WireCapPerUM = 0 }},
+		{"zero buswidth", func(p *Params) { p.BusWidth = 0 }},
+		{"negative buswidth", func(p *Params) { p.BusWidth = -4 }},
+		{"zero pitch", func(p *Params) { p.WirePitchUM = 0 }},
+		{"zero clock", func(p *Params) { p.ClockMHz = 0 }},
+		{"zero linerate", func(p *Params) { p.LineRateMbps = 0 }},
+		{"zero gatecap", func(p *Params) { p.GateCapFF = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatalf("expected validation error")
+			}
+		})
+	}
+}
+
+// TestETBitMatchesPaper checks the headline §5.1 derivation: a Thompson
+// grid is 32 µm, the bit line capacitance is 16 fF, and at 3.3 V the
+// per-grid bit energy is ½·16 fF·(3.3 V)² = 87.1 fJ.
+func TestETBitMatchesPaper(t *testing.T) {
+	p := Default180nm()
+	if got := p.GridSideUM(); got != 32 {
+		t.Fatalf("grid side = %g µm, want 32", got)
+	}
+	if got := p.WireCapFF(p.GridSideUM()); got != 16 {
+		t.Fatalf("grid wire cap = %g fF, want 16", got)
+	}
+	et := p.ETBitFJ()
+	if !almostEqual(et, 87.12, 0.01) {
+		t.Fatalf("E_T_bit = %g fJ, want 87.12 (paper rounds to 87)", et)
+	}
+}
+
+func TestWireBitEnergyScalesLinearly(t *testing.T) {
+	p := Default180nm()
+	et := p.ETBitFJ()
+	for _, m := range []float64{0, 1, 2, 7, 128} {
+		want := m * et
+		if got := p.WireBitEnergyFJ(m); !almostEqual(got, want, 1e-9) {
+			t.Errorf("WireBitEnergyFJ(%g) = %g, want %g", m, got, want)
+		}
+	}
+	if got := p.WireBitEnergyFJ(-3); got != 0 {
+		t.Errorf("negative grid count should clamp to 0, got %g", got)
+	}
+}
+
+func TestCellTimeAndClock(t *testing.T) {
+	p := Default180nm()
+	// 1024 bits at 100 Mbit/s = 10.24 µs = 10240 ns.
+	if got := p.CellTimeNS(1024); !almostEqual(got, 10240, 1e-6) {
+		t.Fatalf("CellTimeNS(1024) = %g, want 10240", got)
+	}
+	if got := p.ClockPeriodNS(); !almostEqual(got, 1000.0/133.0, 1e-9) {
+		t.Fatalf("ClockPeriodNS = %g", got)
+	}
+}
+
+func TestPowerMW(t *testing.T) {
+	// 1e6 fJ over 1000 ns = 1e3 fJ/ns = 1e3 µW = 1 mW.
+	if got := PowerMW(1e6, 1000); !almostEqual(got, 1.0, 1e-12) {
+		t.Fatalf("PowerMW = %g, want 1", got)
+	}
+	if got := PowerMW(123, 0); got != 0 {
+		t.Fatalf("PowerMW with zero duration should be 0, got %g", got)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Default180nm()
+	q, err := p.Scaled(0.72, 0.55) // ~0.13 µm at 1.8 V
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(q.FeatureNM, 180*0.72, 1e-9) {
+		t.Errorf("feature = %g", q.FeatureNM)
+	}
+	if !almostEqual(q.VDD, 3.3*0.55, 1e-9) {
+		t.Errorf("vdd = %g", q.VDD)
+	}
+	if q.ETBitFJ() >= p.ETBitFJ() {
+		t.Errorf("scaled-down tech should lower E_T: %g >= %g", q.ETBitFJ(), p.ETBitFJ())
+	}
+	if _, err := p.Scaled(0, 1); err == nil {
+		t.Error("expected error for zero scale")
+	}
+	if _, err := p.Scaled(1, -1); err == nil {
+		t.Error("expected error for negative voltage scale")
+	}
+}
+
+// Property: switching energy is quadratic in voltage and linear in
+// capacitance, and always non-negative.
+func TestSwitchEnergyProperties(t *testing.T) {
+	f := func(capQ uint16, vQ uint8) bool {
+		p := Default180nm()
+		p.VDD = 0.5 + float64(vQ%50)/10.0 // 0.5 .. 5.4 V
+		c := float64(capQ) / 100.0        // 0 .. 655 fF
+		e1 := p.SwitchEnergyFJ(c)
+		e2 := p.SwitchEnergyFJ(2 * c)
+		if e1 < 0 || !almostEqual(e2, 2*e1, 1e-9) {
+			return false
+		}
+		pv := p
+		pv.VDD *= 2
+		return almostEqual(pv.SwitchEnergyFJ(c), 4*e1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

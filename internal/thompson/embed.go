@@ -1,0 +1,170 @@
+package thompson
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Placement assigns each source vertex the top-left corner of its d×d
+// square in the target grid.
+type Placement struct {
+	// Origin[v] is the top-left grid point of vertex v's square.
+	Origin []Point
+	// Size[v] overrides the square side for vertex v; 0 means use
+	// max(1, Degree(v)) per the paper's d×d rule.
+	Size []int
+}
+
+// Embedding is the result of embedding a source graph into a grid: routed
+// paths and wire lengths per source edge.
+type Embedding struct {
+	Graph *Graph
+	Grid  *Grid
+	// Paths[e] is the grid path routed for source edge e.
+	Paths [][]Point
+	// Lengths[e] is the wire length of source edge e in grid edges.
+	Lengths []int
+}
+
+// TotalWireLength returns the sum of all routed edge lengths in grids.
+func (e *Embedding) TotalWireLength() int {
+	total := 0
+	for _, l := range e.Lengths {
+		total += l
+	}
+	return total
+}
+
+// MaxWireLength returns the longest routed edge length in grids.
+func (e *Embedding) MaxWireLength() int {
+	m := 0
+	for _, l := range e.Lengths {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// squareSide returns the effective square side for vertex v.
+func squareSide(g *Graph, p Placement, v int) int {
+	if p.Size != nil && v < len(p.Size) && p.Size[v] > 0 {
+		return p.Size[v]
+	}
+	d := g.Degree(v)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// squarePerimeter lists the boundary grid points of vertex v's square;
+// wires attach to the boundary.
+func squarePerimeter(origin Point, d int) []Point {
+	if d == 1 {
+		return []Point{origin}
+	}
+	pts := make([]Point, 0, 4*d-4)
+	for dx := 0; dx < d; dx++ {
+		pts = append(pts, Point{origin.X + dx, origin.Y})
+		pts = append(pts, Point{origin.X + dx, origin.Y + d - 1})
+	}
+	for dy := 1; dy < d-1; dy++ {
+		pts = append(pts, Point{origin.X, origin.Y + dy})
+		pts = append(pts, Point{origin.X + d - 1, origin.Y + dy})
+	}
+	return pts
+}
+
+// Embed places every vertex square and routes every source edge in the
+// given grid, longest-expected-first (edges between distant squares are
+// routed first so short local edges do not block them). It returns the
+// embedding with per-edge wire lengths, or an error if placement overlaps
+// or any edge cannot be routed under the one-source-edge-per-grid-edge
+// constraint.
+func Embed(g *Graph, grid *Grid, place Placement) (*Embedding, error) {
+	if len(place.Origin) != g.NumVertices() {
+		return nil, fmt.Errorf("thompson: placement has %d origins for %d vertices", len(place.Origin), g.NumVertices())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if err := grid.claimVertexSquare(v, place.Origin[v], squareSide(g, place, v)); err != nil {
+			return nil, err
+		}
+	}
+
+	type job struct {
+		edge int
+		dist int
+	}
+	jobs := make([]job, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(i)
+		a, b := place.Origin[e.U], place.Origin[e.V]
+		dx, dy := a.X-b.X, a.Y-b.Y
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		jobs[i] = job{edge: i, dist: dx + dy}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].dist > jobs[j].dist })
+
+	emb := &Embedding{
+		Graph:   g,
+		Grid:    grid,
+		Paths:   make([][]Point, g.NumEdges()),
+		Lengths: make([]int, g.NumEdges()),
+	}
+	for _, j := range jobs {
+		e := g.Edge(j.edge)
+		src := squarePerimeter(place.Origin[e.U], squareSide(g, place, e.U))
+		dst := squarePerimeter(place.Origin[e.V], squareSide(g, place, e.V))
+		allowed := map[int]bool{e.U: true, e.V: true}
+		path := grid.route(src, dst, allowed)
+		if path == nil {
+			return nil, fmt.Errorf("thompson: cannot route source edge %d (%d-%d); grid %dx%d too congested",
+				j.edge, e.U, e.V, grid.Cols(), grid.Rows())
+		}
+		if err := grid.claimPath(j.edge, path); err != nil {
+			return nil, err
+		}
+		emb.Paths[j.edge] = path
+		emb.Lengths[j.edge] = len(path) - 1
+	}
+	return emb, nil
+}
+
+// EmbedAuto embeds g using the given placement, growing a grid until
+// routing succeeds or the grid exceeds maxSide. It is a convenience for
+// topologies without a hand-sized grid.
+func EmbedAuto(g *Graph, place Placement, maxSide int) (*Embedding, error) {
+	// Lower bound: the bounding box of the placement squares.
+	cols, rows := 1, 1
+	for v := 0; v < g.NumVertices(); v++ {
+		d := squareSide(g, place, v)
+		if x := place.Origin[v].X + d; x > cols {
+			cols = x
+		}
+		if y := place.Origin[v].Y + d; y > rows {
+			rows = y
+		}
+	}
+	var lastErr error
+	for side := 0; ; side++ {
+		c, r := cols+side, rows+side
+		if c > maxSide || r > maxSide {
+			return nil, fmt.Errorf("thompson: embedding failed up to %dx%d: %w", maxSide, maxSide, lastErr)
+		}
+		grid, err := NewGrid(c, r)
+		if err != nil {
+			return nil, err
+		}
+		emb, err := Embed(g, grid, place)
+		if err == nil {
+			return emb, nil
+		}
+		lastErr = err
+	}
+}

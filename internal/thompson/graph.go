@@ -1,0 +1,79 @@
+package thompson
+
+import "fmt"
+
+// Graph is a source graph G(V_G, E_G): an undirected multigraph describing
+// a fabric topology. Vertices are dense integer ids.
+type Graph struct {
+	n     int
+	edges []Edge
+	deg   []int
+	label []string
+}
+
+// Edge is one undirected source edge between vertices U and V.
+type Edge struct {
+	U, V int
+}
+
+// NewGraph returns a graph with n isolated vertices.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:     n,
+		deg:   make([]int, n),
+		label: make([]string, n),
+	}
+}
+
+// NumVertices returns |V_G|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E_G|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddVertex appends a vertex and returns its id.
+func (g *Graph) AddVertex(label string) int {
+	g.deg = append(g.deg, 0)
+	g.label = append(g.label, label)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge adds an undirected edge and returns its index. Self-loops are
+// rejected; parallel edges are allowed (a bus bundle counts per edge).
+func (g *Graph) AddEdge(u, v int) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return -1, fmt.Errorf("thompson: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return -1, fmt.Errorf("thompson: self-loop on vertex %d not allowed", u)
+	}
+	g.edges = append(g.edges, Edge{U: u, V: v})
+	g.deg[u]++
+	g.deg[v]++
+	return len(g.edges) - 1, nil
+}
+
+// Edge returns the edge with the given index.
+func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Degree returns the degree of vertex v; vertex v occupies a d×d square in
+// the target grid where d = Degree(v) (paper §3.4).
+func (g *Graph) Degree(v int) int { return g.deg[v] }
+
+// Label returns the vertex label (may be empty).
+func (g *Graph) Label(v int) string { return g.label[v] }
+
+// MaxDegree returns the maximum vertex degree, 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, d := range g.deg {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

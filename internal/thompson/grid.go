@@ -1,0 +1,196 @@
+package thompson
+
+import "fmt"
+
+// Point is a vertex of the target grid H, addressed by column (X) and row
+// (Y), both zero-based.
+type Point struct {
+	X, Y int
+}
+
+// gridEdge identifies one undirected edge of the grid mesh by its lower
+// endpoint and orientation. Horizontal edges go (x,y)-(x+1,y); vertical
+// edges go (x,y)-(x,y+1).
+type gridEdge struct {
+	X, Y       int
+	Horizontal bool
+}
+
+// Grid is a target graph H: a p-column × q-row mesh tracking which grid
+// edges and grid vertices are already occupied by an embedding.
+type Grid struct {
+	cols, rows int
+	edgeUsed   map[gridEdge]int // grid edge -> source edge index
+	vertexUsed map[Point]int    // grid vertex -> source vertex id
+}
+
+// NewGrid returns an empty p×q grid mesh.
+func NewGrid(cols, rows int) (*Grid, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("thompson: grid must be positive, got %dx%d", cols, rows)
+	}
+	return &Grid{
+		cols:       cols,
+		rows:       rows,
+		edgeUsed:   make(map[gridEdge]int),
+		vertexUsed: make(map[Point]int),
+	}, nil
+}
+
+// Cols returns p, the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns q, the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Contains reports whether pt lies inside the grid.
+func (g *Grid) Contains(pt Point) bool {
+	return pt.X >= 0 && pt.X < g.cols && pt.Y >= 0 && pt.Y < g.rows
+}
+
+// edgeBetween canonicalizes the grid edge between two adjacent points.
+func edgeBetween(a, b Point) (gridEdge, error) {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	switch {
+	case dx == 1 && dy == 0:
+		return gridEdge{a.X, a.Y, true}, nil
+	case dx == -1 && dy == 0:
+		return gridEdge{b.X, b.Y, true}, nil
+	case dx == 0 && dy == 1:
+		return gridEdge{a.X, a.Y, false}, nil
+	case dx == 0 && dy == -1:
+		return gridEdge{b.X, b.Y, false}, nil
+	}
+	return gridEdge{}, fmt.Errorf("thompson: points %v and %v are not grid-adjacent", a, b)
+}
+
+// claimVertexSquare marks the d×d square with top-left corner at origin as
+// occupied by source vertex v. It fails if any grid vertex in the square is
+// outside the grid or already claimed by a different source vertex
+// ("no more than one vertex in V_G occupies the same vertex in V_H").
+func (g *Grid) claimVertexSquare(v int, origin Point, d int) error {
+	if d < 1 {
+		d = 1
+	}
+	for dx := 0; dx < d; dx++ {
+		for dy := 0; dy < d; dy++ {
+			pt := Point{origin.X + dx, origin.Y + dy}
+			if !g.Contains(pt) {
+				return fmt.Errorf("thompson: vertex %d square %dx%d at %v leaves the grid", v, d, d, origin)
+			}
+			if owner, ok := g.vertexUsed[pt]; ok && owner != v {
+				return fmt.Errorf("thompson: grid vertex %v already claimed by source vertex %d", pt, owner)
+			}
+			g.vertexUsed[pt] = v
+		}
+	}
+	return nil
+}
+
+// vertexOwner returns the source vertex occupying pt, or -1.
+func (g *Grid) vertexOwner(pt Point) int {
+	if v, ok := g.vertexUsed[pt]; ok {
+		return v
+	}
+	return -1
+}
+
+// claimPath marks every grid edge along the path as used by source edge e.
+// The path must be a sequence of adjacent grid points. It fails on the
+// first already-used grid edge ("no more than one edge in E_G occupies the
+// same edge in graph H").
+func (g *Grid) claimPath(e int, path []Point) error {
+	for i := 1; i < len(path); i++ {
+		ge, err := edgeBetween(path[i-1], path[i])
+		if err != nil {
+			return err
+		}
+		if owner, ok := g.edgeUsed[ge]; ok {
+			return fmt.Errorf("thompson: grid edge %+v already used by source edge %d", ge, owner)
+		}
+		g.edgeUsed[ge] = e
+	}
+	return nil
+}
+
+// edgeFree reports whether the grid edge between adjacent points a,b is
+// unused and inside the grid.
+func (g *Grid) edgeFree(a, b Point) bool {
+	if !g.Contains(a) || !g.Contains(b) {
+		return false
+	}
+	ge, err := edgeBetween(a, b)
+	if err != nil {
+		return false
+	}
+	_, used := g.edgeUsed[ge]
+	return !used
+}
+
+// UsedEdges returns the number of occupied grid edges (total routed wire
+// length over all source edges).
+func (g *Grid) UsedEdges() int { return len(g.edgeUsed) }
+
+var neighborOffsets = [4]Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// route finds a shortest path from any point in src to any point in dst
+// using only free grid edges, avoiding grid vertices owned by source
+// vertices other than allowedOwners (so wires do not cross foreign vertex
+// squares; feed-throughs are modeled explicitly by the caller when wanted).
+// It returns the path including both endpoints, or nil.
+func (g *Grid) route(src, dst []Point, allowedOwners map[int]bool) []Point {
+	inDst := make(map[Point]bool, len(dst))
+	for _, p := range dst {
+		inDst[p] = true
+	}
+	prev := make(map[Point]Point)
+	seen := make(map[Point]bool)
+	queue := make([]Point, 0, len(src))
+	for _, p := range src {
+		if !g.Contains(p) {
+			continue
+		}
+		seen[p] = true
+		queue = append(queue, p)
+		if inDst[p] {
+			return []Point{p}
+		}
+	}
+	passable := func(pt Point) bool {
+		owner := g.vertexOwner(pt)
+		return owner == -1 || allowedOwners[owner]
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, off := range neighborOffsets {
+			next := Point{cur.X + off.X, cur.Y + off.Y}
+			if seen[next] || !g.edgeFree(cur, next) {
+				continue
+			}
+			if !inDst[next] && !passable(next) {
+				continue
+			}
+			seen[next] = true
+			prev[next] = cur
+			if inDst[next] {
+				// Reconstruct.
+				path := []Point{next}
+				for {
+					p, ok := prev[path[len(path)-1]]
+					if !ok {
+						break
+					}
+					path = append(path, p)
+				}
+				// Reverse into src->dst order.
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package thompson
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	if g.NumVertices() != 3 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	v := g.AddVertex("extra")
+	if v != 3 || g.NumVertices() != 4 {
+		t.Fatalf("AddVertex id=%d n=%d", v, g.NumVertices())
+	}
+	if g.Label(3) != "extra" {
+		t.Fatalf("label = %q", g.Label(3))
+	}
+	e, err := g.AddEdge(0, 1)
+	if err != nil || e != 0 {
+		t.Fatalf("AddEdge: %v %d", err, e)
+	}
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	if _, err := g.AddEdge(0, 99); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if g.MaxDegree() != 1 {
+		t.Fatalf("maxdeg = %d", g.MaxDegree())
+	}
+}
+
+func TestGridRejectsBadDimensions(t *testing.T) {
+	if _, err := NewGrid(0, 5); err == nil {
+		t.Fatal("zero cols should fail")
+	}
+	if _, err := NewGrid(5, -1); err == nil {
+		t.Fatal("negative rows should fail")
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	a := Point{2, 3}
+	for _, b := range []Point{{3, 3}, {1, 3}, {2, 4}, {2, 2}} {
+		if _, err := edgeBetween(a, b); err != nil {
+			t.Errorf("adjacent %v-%v: %v", a, b, err)
+		}
+	}
+	if _, err := edgeBetween(a, Point{4, 3}); err == nil {
+		t.Error("non-adjacent should fail")
+	}
+	if _, err := edgeBetween(a, a); err == nil {
+		t.Error("identical should fail")
+	}
+	// Canonical form is symmetric.
+	e1, _ := edgeBetween(Point{0, 0}, Point{1, 0})
+	e2, _ := edgeBetween(Point{1, 0}, Point{0, 0})
+	if e1 != e2 {
+		t.Errorf("edge canonicalization asymmetric: %+v vs %+v", e1, e2)
+	}
+}
+
+// TestEmbedTwoVertexPath embeds a single edge between two unit squares and
+// checks the wire length equals the Manhattan distance.
+func TestEmbedTwoVertexPath(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := NewGrid(10, 10)
+	place := Placement{Origin: []Point{{0, 0}, {5, 3}}, Size: []int{1, 1}}
+	emb, err := Embed(g, grid, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Lengths[0] != 8 {
+		t.Fatalf("wire length = %d, want 8 (Manhattan)", emb.Lengths[0])
+	}
+	if emb.TotalWireLength() != 8 || emb.MaxWireLength() != 8 {
+		t.Fatalf("totals: %d %d", emb.TotalWireLength(), emb.MaxWireLength())
+	}
+}
+
+// TestEmbedDisjointEdges checks that two source edges never share a grid
+// edge even when their shortest paths would overlap.
+func TestEmbedDisjointEdges(t *testing.T) {
+	g := NewGraph(4)
+	// Two parallel horizontal edges forced through a narrow corridor.
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := NewGrid(8, 4)
+	place := Placement{
+		Origin: []Point{{0, 1}, {7, 1}, {0, 2}, {7, 2}},
+		Size:   []int{1, 1, 1, 1},
+	}
+	emb, err := Embed(g, grid, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid tracks occupancy; claimPath would have failed on overlap.
+	if emb.Grid.UsedEdges() != emb.TotalWireLength() {
+		t.Fatalf("grid accounting mismatch: used %d vs total %d",
+			emb.Grid.UsedEdges(), emb.TotalWireLength())
+	}
+}
+
+func TestEmbedFailsWhenTooSmall(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	grid, _ := NewGrid(2, 1)
+	// Both vertices claim the same region -> overlap error.
+	place := Placement{Origin: []Point{{0, 0}, {0, 0}}, Size: []int{1, 1}}
+	if _, err := Embed(g, grid, place); err == nil {
+		t.Fatal("overlapping placement should fail")
+	}
+}
+
+func TestEmbedAutoGrows(t *testing.T) {
+	g := NewGraph(2)
+	if _, err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	place := Placement{Origin: []Point{{0, 0}, {3, 0}}, Size: []int{1, 1}}
+	emb, err := EmbedAuto(g, place, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Lengths[0] != 3 {
+		t.Fatalf("length = %d, want 3", emb.Lengths[0])
+	}
+}
+
+func TestCrossbarWiresClosedForm(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		w := CrossbarWires{N: n}
+		if w.RowGrids() != 4*n || w.ColGrids() != 4*n {
+			t.Errorf("N=%d: row=%d col=%d, want %d", n, w.RowGrids(), w.ColGrids(), 4*n)
+		}
+		if w.PathGrids(0, n-1) != 8*n {
+			t.Errorf("N=%d: path=%d, want %d (Eq.3's 8N)", n, w.PathGrids(0, n-1), 8*n)
+		}
+	}
+}
+
+func TestFullyConnectedWiresClosedForm(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		w := FullyConnectedWires{N: n}
+		if w.WorstGrids() != n*n/2 {
+			t.Errorf("N=%d: worst=%d, want %d (Eq.4's N²/2)", n, w.WorstGrids(), n*n/2)
+		}
+		if w.PathGrids(1, 2) != w.WorstGrids() {
+			t.Errorf("N=%d: PathGrids should use the worst case", n)
+		}
+		if w.AvgGrids() != n*n/4 {
+			t.Errorf("N=%d: avg=%d, want %d", n, w.AvgGrids(), n*n/4)
+		}
+	}
+}
+
+func TestBanyanWiresClosedForm(t *testing.T) {
+	for dim := 1; dim <= 5; dim++ {
+		w := BanyanWires{Dimension: dim}
+		if w.Stages() != dim {
+			t.Fatalf("stages = %d", w.Stages())
+		}
+		total := 0
+		for i := 0; i < dim; i++ {
+			want := 4 << uint(i)
+			if got := w.StageGrids(i); got != want {
+				t.Errorf("dim=%d stage %d: %d, want %d", dim, i, got, want)
+			}
+			total += 4 << uint(i)
+		}
+		if got := w.PathGrids(); got != total || got != 4*((1<<uint(dim))-1) {
+			t.Errorf("dim=%d path=%d, want %d", dim, got, 4*((1<<uint(dim))-1))
+		}
+	}
+	b3 := BanyanWires{Dimension: 3}
+	if b3.StageGrids(-1) != 0 {
+		t.Error("negative stage should be 0")
+	}
+	if b3.StageGrids(3) != 0 {
+		t.Error("out-of-range stage should be 0")
+	}
+}
+
+func TestBatcherBanyanWiresClosedForm(t *testing.T) {
+	for dim := 2; dim <= 5; dim++ {
+		w := BatcherBanyanWires{Dimension: dim}
+		if got, want := w.SorterStages(), dim*(dim+1)/2; got != want {
+			t.Fatalf("dim=%d sorter stages = %d, want %d", dim, got, want)
+		}
+		if got, want := w.TotalStages(), dim*(dim+1)/2+dim; got != want {
+			t.Fatalf("dim=%d total stages = %d, want %d", dim, got, want)
+		}
+		// Eq. 6 sorter wire term: 4·Σⱼ(2^{j+1}−1).
+		want := 0
+		for j := 0; j < dim; j++ {
+			want += 4 * ((2 << uint(j)) - 1)
+		}
+		if got := w.SorterPathGrids(); got != want {
+			t.Errorf("dim=%d sorter path = %d, want %d", dim, got, want)
+		}
+		// Spans within each phase must run 2ʲ..1.
+		s := 0
+		for j := 0; j < dim; j++ {
+			for k := 0; k <= j; k++ {
+				if got, want := w.SorterStageSpan(s), 1<<uint(j-k); got != want {
+					t.Errorf("dim=%d stage %d: span %d, want %d", dim, s, got, want)
+				}
+				s++
+			}
+		}
+		// Total path = sorter + banyan.
+		by := BanyanWires{Dimension: dim}
+		if got := w.PathGrids(); got != w.SorterPathGrids()+by.PathGrids() {
+			t.Errorf("dim=%d total path mismatch", dim)
+		}
+	}
+}
+
+// TestCrossbarEmbeddingMatchesClosedForm routes a small crossbar with the
+// generic engine and checks the chained row wires sum to ~4N per row.
+func TestCrossbarEmbeddingMatchesClosedForm(t *testing.T) {
+	n := 4
+	g, place, err := BuildCrossbarGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := EmbedAuto(g, place, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i consists of edges: in->xp0, xp0->xp1, ..., xp(n-2)->xp(n-1),
+	// i.e. n edges laid out on a 4-grid pitch. The routed total should be
+	// within 2x of the closed form 4N (routing detours around squares).
+	w := CrossbarWires{N: n}
+	for i := 0; i < n; i++ {
+		rowLen := 0
+		for j := 0; j < n; j++ {
+			rowLen += emb.Lengths[i*n+j]
+		}
+		if rowLen < w.RowGrids()/2 || rowLen > w.RowGrids()*2 {
+			t.Errorf("row %d routed length %d outside [%d,%d] around closed form %d",
+				i, rowLen, w.RowGrids()/2, w.RowGrids()*2, w.RowGrids())
+		}
+	}
+}
+
+// TestBanyanEmbeddingRoutes checks the generic engine can route a Banyan
+// butterfly and that later stages have longer wires, matching the 4·2ⁱ
+// growth direction of the closed form.
+func TestBanyanEmbeddingRoutes(t *testing.T) {
+	g, place, err := BuildBanyanGraph(2) // 4x4
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := EmbedAuto(g, place, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.TotalWireLength() == 0 {
+		t.Fatal("expected nonzero wire length")
+	}
+	for _, l := range emb.Lengths {
+		if l <= 0 {
+			t.Fatalf("edge with non-positive length %d", l)
+		}
+	}
+}
+
+func TestBuildersRejectBadSizes(t *testing.T) {
+	if _, _, err := BuildCrossbarGraph(0); err == nil {
+		t.Error("crossbar size 0 should fail")
+	}
+	if _, _, err := BuildBanyanGraph(0); err == nil {
+		t.Error("banyan dim 0 should fail")
+	}
+}
+
+// Property: for any dimension 1..6, Banyan stage lengths are strictly
+// increasing and total equals 4(2ⁿ-1).
+func TestBanyanWiresProperty(t *testing.T) {
+	f := func(dq uint8) bool {
+		dim := int(dq%6) + 1
+		w := BanyanWires{Dimension: dim}
+		prev := 0
+		sum := 0
+		for i := 0; i < dim; i++ {
+			l := w.StageGrids(i)
+			if l <= prev {
+				return false
+			}
+			prev = l
+			sum += l
+		}
+		return sum == 4*((1<<uint(dim))-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Batcher sorter spans are always powers of two and the per-phase
+// leading span doubles each phase.
+func TestBatcherSpanProperty(t *testing.T) {
+	f := func(dq uint8) bool {
+		dim := int(dq%5) + 2
+		w := BatcherBanyanWires{Dimension: dim}
+		s := 0
+		for j := 0; j < dim; j++ {
+			if w.SorterStageSpan(s) != 1<<uint(j) {
+				return false
+			}
+			s += j + 1
+		}
+		// All spans are powers of two.
+		for i := 0; i < w.SorterStages(); i++ {
+			sp := w.SorterStageSpan(i)
+			if sp <= 0 || sp&(sp-1) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package traffic generates the workloads of the paper's experiments
+// (§5.2): TCP/IP-like flows with random binary payloads and random
+// destinations, injected at each ingress port with an adjustable interval
+// so the offered load (and hence measured egress throughput) can be swept.
+//
+// Beyond the paper's uniform Bernoulli traffic, the package provides
+// bursty (on/off Markov), hotspot and permutation patterns, a variable
+// packet-size source that exercises segmentation/reassembly, and trace
+// record/replay for reproducible experiments.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fabricpower/internal/packet"
+)
+
+// DestPattern chooses a destination port for a cell injected at src.
+type DestPattern interface {
+	Pick(rng *rand.Rand, src, ports int) int
+}
+
+// Uniform picks any port uniformly (the paper's random destinations).
+// Self-traffic is allowed, as in the paper's random TCP/IP destinations.
+type Uniform struct{}
+
+// Pick implements DestPattern.
+func (Uniform) Pick(rng *rand.Rand, src, ports int) int { return rng.Intn(ports) }
+
+// Hotspot sends Fraction of the traffic to the Port hotspot and spreads
+// the rest uniformly — the classic stress pattern for shared-resource
+// fabrics.
+type Hotspot struct {
+	Port     int
+	Fraction float64
+}
+
+// Pick implements DestPattern.
+func (h Hotspot) Pick(rng *rand.Rand, src, ports int) int {
+	if rng.Float64() < h.Fraction {
+		return h.Port % ports
+	}
+	return rng.Intn(ports)
+}
+
+// Permutation routes each source to a fixed destination (a contention-free
+// pattern once admitted, useful for isolating fabric-internal blocking).
+type Permutation struct {
+	Perm []int
+}
+
+// Pick implements DestPattern.
+func (p Permutation) Pick(_ *rand.Rand, src, ports int) int {
+	if len(p.Perm) == 0 {
+		return src % ports
+	}
+	return p.Perm[src%len(p.Perm)] % ports
+}
+
+// BitReverse routes src to its bit-reversed index — the canonical
+// adversarial permutation for butterfly networks.
+type BitReverse struct{}
+
+// Pick implements DestPattern.
+func (BitReverse) Pick(_ *rand.Rand, src, ports int) int {
+	bits := 0
+	for v := ports; v > 1; v >>= 1 {
+		bits++
+	}
+	r := 0
+	for i := 0; i < bits; i++ {
+		if src&(1<<uint(i)) != 0 {
+			r |= 1 << uint(bits-1-i)
+		}
+	}
+	return r % ports
+}
+
+// Injector is the paper's cell source: at every slot, every port injects a
+// fixed-size cell with probability Load (Bernoulli arrivals — adjusting
+// the packet generation interval of §5.2), destination drawn from the
+// pattern, payload random.
+type Injector struct {
+	ports   int
+	load    float64
+	cfg     packet.Config
+	pattern DestPattern
+	rng     *rand.Rand
+	nextID  uint64
+}
+
+// NewInjector validates and builds a Bernoulli cell injector.
+func NewInjector(ports int, load float64, cfg packet.Config, pattern DestPattern, seed int64) (*Injector, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("traffic: ports must be >= 1, got %d", ports)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load must be in [0,1], got %g", load)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pattern == nil {
+		pattern = Uniform{}
+	}
+	return &Injector{
+		ports:   ports,
+		load:    load,
+		cfg:     cfg,
+		pattern: pattern,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Ports returns the port count.
+func (in *Injector) Ports() int { return in.ports }
+
+// Load returns the offered load per port.
+func (in *Injector) Load() float64 { return in.load }
+
+// Generate returns the cells injected in this slot, at most one per port,
+// each with Src/Dest/payload filled in.
+func (in *Injector) Generate(slot uint64) []*packet.Cell {
+	var cells []*packet.Cell
+	for p := 0; p < in.ports; p++ {
+		if in.rng.Float64() >= in.load {
+			continue
+		}
+		in.nextID++
+		cells = append(cells, &packet.Cell{
+			ID:          in.nextID,
+			Src:         p,
+			Dest:        in.pattern.Pick(in.rng, p, in.ports),
+			Payload:     packet.RandomPayload(in.rng, in.cfg.Words()),
+			CreatedSlot: slot,
+		})
+	}
+	return cells
+}
+
+// OnOffInjector is a bursty source: each port runs an independent on/off
+// Markov chain; while ON it injects every slot. The mean load is
+// POn = MeanBurst/(MeanBurst+MeanGap); choose MeanGap for a target load.
+type OnOffInjector struct {
+	ports    int
+	pOnToOff float64
+	pOffToOn float64
+	on       []bool
+	cfg      packet.Config
+	pattern  DestPattern
+	rng      *rand.Rand
+	nextID   uint64
+}
+
+// NewOnOffInjector builds a bursty injector with the given mean burst
+// length (slots) and target mean load.
+func NewOnOffInjector(ports int, meanBurst, load float64, cfg packet.Config, pattern DestPattern, seed int64) (*OnOffInjector, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("traffic: ports must be >= 1, got %d", ports)
+	}
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("traffic: mean burst must be >= 1 slot, got %g", meanBurst)
+	}
+	if load <= 0 || load >= 1 {
+		return nil, fmt.Errorf("traffic: bursty load must be in (0,1), got %g", load)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pattern == nil {
+		pattern = Uniform{}
+	}
+	// load = meanBurst / (meanBurst + meanGap)  =>  meanGap = meanBurst·(1-load)/load.
+	meanGap := meanBurst * (1 - load) / load
+	return &OnOffInjector{
+		ports:    ports,
+		pOnToOff: 1 / meanBurst,
+		pOffToOn: 1 / meanGap,
+		on:       make([]bool, ports),
+		cfg:      cfg,
+		pattern:  pattern,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Generate returns this slot's injected cells.
+func (in *OnOffInjector) Generate(slot uint64) []*packet.Cell {
+	var cells []*packet.Cell
+	for p := 0; p < in.ports; p++ {
+		if in.on[p] {
+			if in.rng.Float64() < in.pOnToOff {
+				in.on[p] = false
+			}
+		} else if in.rng.Float64() < in.pOffToOn {
+			in.on[p] = true
+		}
+		if !in.on[p] {
+			continue
+		}
+		in.nextID++
+		cells = append(cells, &packet.Cell{
+			ID:          in.nextID,
+			Src:         p,
+			Dest:        in.pattern.Pick(in.rng, p, in.ports),
+			Payload:     packet.RandomPayload(in.rng, in.cfg.Words()),
+			CreatedSlot: slot,
+		})
+	}
+	return cells
+}
+
+// PacketInjector generates variable-size TCP/IP packets (the classic
+// trimodal internet mix by default) and segments them into cells; each
+// port drains its cell queue at one cell per slot, so a long packet
+// occupies its ingress for several slots exactly as a 100BaseT line would.
+type PacketInjector struct {
+	ports     int
+	load      float64
+	sizesBits []int
+	sizeProb  []float64
+	cfg       packet.Config
+	pattern   DestPattern
+	seg       *packet.Segmenter
+	queues    [][]*packet.Cell
+	rng       *rand.Rand
+	nextID    uint64
+}
+
+// TrimodalSizesBits returns the classic 40/576/1500-byte internet packet
+// mix with its empirical probabilities.
+func TrimodalSizesBits() (sizes []int, probs []float64) {
+	return []int{40 * 8, 576 * 8, 1500 * 8}, []float64{0.55, 0.25, 0.20}
+}
+
+// NewPacketInjector builds a variable-packet-size source. load is the
+// target cell load per port; the injector draws new packets only when a
+// port's queue is empty, so the effective load saturates near the packet
+// arrival rate times mean packet length.
+func NewPacketInjector(ports int, load float64, cfg packet.Config, pattern DestPattern, seed int64) (*PacketInjector, error) {
+	if ports < 1 {
+		return nil, fmt.Errorf("traffic: ports must be >= 1, got %d", ports)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load must be in [0,1], got %g", load)
+	}
+	seg, err := packet.NewSegmenter(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pattern == nil {
+		pattern = Uniform{}
+	}
+	sizes, probs := TrimodalSizesBits()
+	return &PacketInjector{
+		ports:     ports,
+		load:      load,
+		sizesBits: sizes,
+		sizeProb:  probs,
+		cfg:       cfg,
+		pattern:   pattern,
+		seg:       seg,
+		queues:    make([][]*packet.Cell, ports),
+		rng:       rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// meanCellsPerPacket returns the average segmentation factor.
+func (in *PacketInjector) meanCellsPerPacket() float64 {
+	mean := 0.0
+	for i, s := range in.sizesBits {
+		cells := float64((s + in.cfg.CellBits - 1) / in.cfg.CellBits)
+		mean += in.sizeProb[i] * cells
+	}
+	return mean
+}
+
+// Generate drains each port queue one cell per slot, drawing fresh packets
+// with the rate that achieves the target cell load.
+func (in *PacketInjector) Generate(slot uint64) []*packet.Cell {
+	pArrival := in.load / in.meanCellsPerPacket()
+	var out []*packet.Cell
+	for p := 0; p < in.ports; p++ {
+		if len(in.queues[p]) == 0 && in.rng.Float64() < pArrival {
+			size := in.pickSize()
+			in.nextID++
+			pkt, err := packet.NewRandomPacket(in.rng, in.nextID, p, in.pattern.Pick(in.rng, p, in.ports), size)
+			if err == nil {
+				in.queues[p] = in.seg.Split(pkt, slot)
+			}
+		}
+		if len(in.queues[p]) > 0 {
+			out = append(out, in.queues[p][0])
+			in.queues[p] = in.queues[p][1:]
+		}
+	}
+	return out
+}
+
+func (in *PacketInjector) pickSize() int {
+	r := in.rng.Float64()
+	acc := 0.0
+	for i, p := range in.sizeProb {
+		acc += p
+		if r < acc {
+			return in.sizesBits[i]
+		}
+	}
+	return in.sizesBits[len(in.sizesBits)-1]
+}
