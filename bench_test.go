@@ -12,7 +12,12 @@
 //	BenchmarkObs1Crossover          — §6 obs. 1 (Banyan crossover)
 //	BenchmarkSaturationCeiling      — §5.2/§6 (58.6% input-buffered limit)
 //
-// The remaining benchmarks profile the simulator substrate itself.
+// BenchmarkSweepSequential vs BenchmarkSweepParallel measure the same
+// Fig. 9-shaped sweep with 1 worker and with one worker per core; on a
+// multicore box the ratio approaches the core count because the operating
+// points are embarrassingly parallel. The remaining benchmarks profile
+// the simulator substrate itself; the XxxStep benchmarks report allocs
+// and must stay at 0 allocs/op (TestStepAllocationFree enforces this).
 package fabricpower_test
 
 import (
@@ -132,8 +137,37 @@ func BenchmarkSaturationCeiling(b *testing.B) {
 	}
 }
 
+// --- sweep engine ---------------------------------------------------------
+
+// benchSweep runs a reduced Fig. 9 sweep (2 sizes × 4 architectures × 3
+// loads = 24 points) with the given worker count.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	p := exp.SimParams{WarmupSlots: 50, MeasureSlots: 400, Seed: 1, Workers: workers}
+	sizes := []int{8, 16}
+	loads := []float64{0.2, 0.35, 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunFig9(core.PaperModel(), sizes, loads, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the single-worker baseline.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel fans the same points across all cores; compare
+// against BenchmarkSweepSequential for the sweep-engine speedup (the
+// results themselves are bit-identical — see TestFig9ParallelDeterminism).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // --- simulator substrate micro-benchmarks --------------------------------
 
+// benchFabric measures one fabric slot at ~50% load. Cells recirculate
+// through a fixed pool (delivered cells are re-offered) and the reusable
+// slot buffers are grown during an untimed warmup, so the reported
+// allocs/op are the fabric's own — the slot hot path must stay at 0
+// (TestStepAllocationFree asserts the same invariant).
 func benchFabric(b *testing.B, arch core.Architecture, ports int) {
 	b.Helper()
 	cfg := fabric.Config{
@@ -146,31 +180,41 @@ func benchFabric(b *testing.B, arch core.Architecture, ports int) {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
-	payloads := make([][]uint32, 64)
-	for i := range payloads {
-		payloads[i] = packet.RandomPayload(rng, 32)
+	pool := make([]*packet.Cell, 0, 8*ports)
+	for i := 0; i < 8*ports; i++ {
+		pool = append(pool, &packet.Cell{ID: uint64(i + 1), Payload: packet.RandomPayload(rng, 32)})
 	}
-	id := uint64(0)
 	destBusy := make([]bool, ports)
-	b.ResetTimer()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
+	slot := uint64(0)
+	step := func() {
 		for j := range destBusy {
 			destBusy[j] = false
 		}
 		for p := 0; p < ports; p++ {
-			if rng.Float64() < 0.5 {
-				d := rng.Intn(ports)
-				if destBusy[d] {
-					continue
-				}
-				id++
-				if f.Offer(&packet.Cell{ID: id, Src: p, Dest: d, Payload: payloads[id%64]}) {
-					destBusy[d] = true
-				}
+			if len(pool) == 0 || rng.Float64() >= 0.5 {
+				continue
+			}
+			d := rng.Intn(ports)
+			if destBusy[d] {
+				continue
+			}
+			c := pool[len(pool)-1]
+			c.Src, c.Dest = p, d
+			if f.Offer(c) {
+				pool = pool[:len(pool)-1]
+				destBusy[d] = true
 			}
 		}
-		f.Step(uint64(i))
+		pool = append(pool, f.Step(slot)...)
+		slot++
+	}
+	for i := 0; i < 300; i++ {
+		step()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		step()
 	}
 }
 

@@ -4,14 +4,17 @@
 // Usage:
 //
 //	fabricpower tech                      # §5.1 E_T derivation
-//	fabricpower table1 [-cycles N]        # Table 1 recharacterization
+//	fabricpower table1 [-cycles N] [-workers N]
 //	fabricpower table2                    # Table 2 buffer energies
-//	fabricpower fig9  [-sizes 4,8,16,32] [-slots N] [-csv file]
-//	fabricpower fig10 [-load 0.5] [-csv file]
-//	fabricpower crossover [-ports 32] [-perword]
-//	fabricpower saturate [-ports 16]
+//	fabricpower fig9  [-sizes 4,8,16,32] [-slots N] [-csv file] [-workers N]
+//	fabricpower fig10 [-load 0.5] [-csv file] [-workers N]
+//	fabricpower crossover [-ports 32] [-perword] [-workers N]
+//	fabricpower saturate [-ports 16] [-workers N]
 //	fabricpower ablate [-study buffer|fcwire|queue]
 //	fabricpower simulate -arch banyan -ports 16 -load 0.3
+//
+// Sweep commands fan their operating points across -workers goroutines
+// (default: all cores); results are bit-identical for any worker count.
 package main
 
 import (
@@ -77,7 +80,10 @@ commands:
   crossover   cheapest architecture per load at one size
   saturate    input-buffered throughput ceiling
   ablate      ablation studies (-study buffer|fcwire|queue)
-  simulate    one operating point with full breakdown`)
+  simulate    one operating point with full breakdown
+
+sweep commands accept -workers N (default 0 = all cores); results are
+bit-identical for any worker count`)
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -96,8 +102,8 @@ func parseSizes(s string) ([]int, error) {
 	return out, nil
 }
 
-func simParams(slots uint64, seed int64) exp.SimParams {
-	return exp.SimParams{MeasureSlots: slots, Seed: seed}
+func simParams(slots uint64, seed int64, workers int) exp.SimParams {
+	return exp.SimParams{MeasureSlots: slots, Seed: seed, Workers: workers}
 }
 
 func runTable1(args []string) error {
@@ -105,10 +111,11 @@ func runTable1(args []string) error {
 	cycles := fs.Int("cycles", 192, "measured cycles per input vector")
 	width := fs.Int("width", 32, "datapath width in bits")
 	seed := fs.Int64("seed", 1, "payload PRNG seed")
+	workers := fs.Int("workers", 0, "parallel characterizations (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t1, err := exp.RunTable1(core.PaperModel(), exp.Table1Options{Cycles: *cycles, BusWidth: *width, Seed: *seed})
+	t1, err := exp.RunTable1(core.PaperModel(), exp.Table1Options{Cycles: *cycles, BusWidth: *width, Seed: *seed, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -142,6 +149,7 @@ func runFig9(args []string) error {
 	seed := fs.Int64("seed", 1, "traffic seed")
 	csvPath := fs.String("csv", "", "also write CSV to this file")
 	perWord := fs.Bool("perword", false, "per-word buffer accounting")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,7 +161,7 @@ func runFig9(args []string) error {
 	if *perWord {
 		model = core.PerWordBufferModel()
 	}
-	f9, err := exp.RunFig9(model, sizes, nil, simParams(*slots, *seed))
+	f9, err := exp.RunFig9(model, sizes, nil, simParams(*slots, *seed, *workers))
 	if err != nil {
 		return err
 	}
@@ -170,6 +178,7 @@ func runFig10(args []string) error {
 	slots := fs.Uint64("slots", 3000, "measured slots per point")
 	seed := fs.Int64("seed", 1, "traffic seed")
 	csvPath := fs.String("csv", "", "also write CSV to this file")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,7 +186,7 @@ func runFig10(args []string) error {
 	if err != nil {
 		return err
 	}
-	f10, err := exp.RunFig10(core.PaperModel(), sizes, *load, simParams(*slots, *seed))
+	f10, err := exp.RunFig10(core.PaperModel(), sizes, *load, simParams(*slots, *seed, *workers))
 	if err != nil {
 		return err
 	}
@@ -193,6 +202,7 @@ func runCrossover(args []string) error {
 	slots := fs.Uint64("slots", 2000, "measured slots per point")
 	seed := fs.Int64("seed", 1, "traffic seed")
 	perWord := fs.Bool("perword", false, "per-word buffer accounting (recovers the paper's 35% crossover)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,7 +210,7 @@ func runCrossover(args []string) error {
 	if *perWord {
 		model = core.PerWordBufferModel()
 	}
-	c, err := exp.RunCrossover(model, *ports, nil, simParams(*slots, *seed))
+	c, err := exp.RunCrossover(model, *ports, nil, simParams(*slots, *seed, *workers))
 	if err != nil {
 		return err
 	}
@@ -212,10 +222,11 @@ func runSaturate(args []string) error {
 	ports := fs.Int("ports", 16, "fabric size")
 	slots := fs.Uint64("slots", 3000, "measured slots per point")
 	seed := fs.Int64("seed", 1, "traffic seed")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := exp.RunSaturation(core.PaperModel(), *ports, simParams(*slots, *seed))
+	s, err := exp.RunSaturation(core.PaperModel(), *ports, simParams(*slots, *seed, *workers))
 	if err != nil {
 		return err
 	}
@@ -232,7 +243,7 @@ func runAblate(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := simParams(*slots, *seed)
+	p := simParams(*slots, *seed, 1)
 	switch *study {
 	case "buffer":
 		a, err := exp.RunBufferAblation(core.PaperModel(), *ports, *load, p)
@@ -270,7 +281,7 @@ func runSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := exp.RunPoint(core.PaperModel(), arch, *ports, *load, simParams(*slots, *seed))
+	res, err := exp.RunPoint(core.PaperModel(), arch, *ports, *load, simParams(*slots, *seed, 1))
 	if err != nil {
 		return err
 	}

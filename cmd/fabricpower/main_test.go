@@ -32,8 +32,8 @@ func TestParseSizesRejectsGarbage(t *testing.T) {
 }
 
 func TestSimParamsHelper(t *testing.T) {
-	p := simParams(1234, 9)
-	if p.MeasureSlots != 1234 || p.Seed != 9 {
+	p := simParams(1234, 9, 3)
+	if p.MeasureSlots != 1234 || p.Seed != 9 || p.Workers != 3 {
 		t.Fatalf("params %+v", p)
 	}
 }

@@ -20,8 +20,9 @@
 //     and the selected fabric, returning measured throughput, latency and
 //     a per-component power breakdown.
 //
-// See the examples directory for runnable walkthroughs and DESIGN.md /
-// EXPERIMENTS.md for the experiment-by-experiment reproduction record.
+// See the examples directory for runnable walkthroughs, README.md for how
+// to regenerate every figure (in parallel), and internal/exp for the
+// experiment-by-experiment reproduction record.
 package fabricpower
 
 import (
@@ -71,7 +72,7 @@ func DefaultModel() Model { return Model{m: core.PaperModel()} }
 // PerWordBufferModel returns the alternative Table 2 reading in which the
 // SRAM access energy is charged per 32-bit word rather than per bit —
 // the interpretation that recovers the paper's 35% Banyan crossover at
-// 32×32 (see EXPERIMENTS.md).
+// 32×32 (see the BufferAccessGranularityBits discussion in internal/core).
 func PerWordBufferModel() Model { return Model{m: core.PerWordBufferModel()} }
 
 // WithTechScaling derives a model at a scaled technology point: s scales

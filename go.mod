@@ -1,0 +1,3 @@
+module fabricpower
+
+go 1.22

@@ -39,6 +39,14 @@ type Arbiter interface {
 // tie-breaking. The zero value is ready to use.
 type FCFSRR struct {
 	rr int
+	// Per-call scratch, reused so granting is allocation-free: best maps
+	// dest -> winning request index, valid when mark holds the current
+	// epoch. Grants are emitted in request order, never map order, so a
+	// simulation replays bit-identically.
+	epoch  uint64
+	best   []int
+	mark   []uint64
+	grants []int
 }
 
 // NewFCFSRR returns the paper's arbiter.
@@ -48,27 +56,37 @@ func NewFCFSRR() *FCFSRR { return &FCFSRR{} }
 // wins; equal arrivals are broken by round-robin distance from the
 // rotating pointer. Each ingress port sends at most one request per slot
 // by construction of the router, so per-port uniqueness is inherited.
+// Grants are returned in ascending request order; the returned slice is
+// reused by the next Grant call.
 func (a *FCFSRR) Grant(reqs []Request, slot uint64) []int {
-	best := make(map[int]int) // dest -> winning request index
-	for i, r := range reqs {
-		j, ok := best[r.Dest]
-		if !ok {
-			best[r.Dest] = i
-			continue
-		}
-		cur := reqs[j]
-		if r.Arrival < cur.Arrival ||
-			(r.Arrival == cur.Arrival && a.distance(r.Port) < a.distance(cur.Port)) {
-			best[r.Dest] = i
+	a.epoch++
+	for _, r := range reqs {
+		if r.Dest >= len(a.best) {
+			a.best = append(a.best, make([]int, r.Dest+1-len(a.best))...)
+			a.mark = append(a.mark, make([]uint64, r.Dest+1-len(a.mark))...)
 		}
 	}
-	grants := make([]int, 0, len(best))
-	for _, i := range best {
-		grants = append(grants, i)
+	for i, r := range reqs {
+		if a.mark[r.Dest] != a.epoch {
+			a.mark[r.Dest] = a.epoch
+			a.best[r.Dest] = i
+			continue
+		}
+		cur := reqs[a.best[r.Dest]]
+		if r.Arrival < cur.Arrival ||
+			(r.Arrival == cur.Arrival && a.distance(r.Port) < a.distance(cur.Port)) {
+			a.best[r.Dest] = i
+		}
+	}
+	a.grants = a.grants[:0]
+	for i, r := range reqs {
+		if a.best[r.Dest] == i {
+			a.grants = append(a.grants, i)
+		}
 	}
 	// Advance the pointer every slot so ties rotate fairly.
 	a.rr++
-	return grants
+	return a.grants
 }
 
 // distance measures how far a port is ahead of the round-robin pointer.

@@ -148,7 +148,7 @@ type Model struct {
 	// BufferAccessesPerEvent counts how many E_access charges one
 	// buffering event costs per bit. The paper's Eq. 1 charges a single
 	// access; set 2 to charge the write and the read explicitly (the
-	// ablation in EXPERIMENTS.md quantifies the difference).
+	// ablation in internal/exp quantifies the difference).
 	BufferAccessesPerEvent int
 
 	// BufferAccessGranularityBits resolves an ambiguity in the paper's
@@ -159,8 +159,8 @@ type Model struct {
 	// the Banyan's low-load advantage at 32×32 (§6 obs. 1) cannot
 	// materialize at any realistic load. Reading the off-the-shelf SRAM
 	// datasheet numbers as per 32-bit word access (granularity 32)
-	// restores the paper's 35% crossover; EXPERIMENTS.md quantifies both
-	// readings.
+	// restores the paper's 35% crossover; internal/exp's crossover study
+	// quantifies both readings.
 	BufferAccessGranularityBits int
 }
 
@@ -173,7 +173,7 @@ func PaperModel() Model {
 		Crosspoint:                  energy.PaperCrosspoint(),
 		Banyan2x2:                   energy.PaperBanyan(),
 		Batcher2x2:                  energy.PaperBatcher(),
-		MuxFor:                      func(n int) (energy.Table, error) { return energy.PaperMux(n) },
+		MuxFor:                      energy.CachedPaperMux,
 		BufferAccess:                sram.DefaultAccessModel(),
 		Refresh:                     sram.SRAMRefresh(),
 		PerNodeBufferBits:           4096,

@@ -1,0 +1,150 @@
+// Characterization memoization: gate-level LUT characterization is by far
+// the most expensive unit of work in the evaluation pipeline (hundreds of
+// simulated clock cycles per input vector over netlists of up to ~10K
+// gates), yet a sweep asks for the same handful of (switch, technology)
+// configurations over and over — once per operating point. The caches here
+// make every configuration characterize exactly once per process, safely
+// shared across the sweep engine's worker goroutines.
+package energy
+
+import (
+	"sync"
+
+	"fabricpower/internal/circuits"
+	"fabricpower/internal/gates"
+)
+
+// charKey identifies one characterization configuration: the switch
+// topology (name, port/bus/key geometry), the library operating point it
+// was built against, and the characterization options. Two switches with
+// equal keys characterize to bitwise-identical tables, because
+// Characterize is deterministic in (netlist, options).
+type charKey struct {
+	name      string
+	inputs    int
+	busWidth  int
+	destBits  int
+	selBits   int
+	unitCapFF float64
+	wireCapFF float64
+	vdd       float64
+	opt       CharOptions
+}
+
+func keyOf(sw *circuits.Switch, opt CharOptions) charKey {
+	k := charKey{name: sw.Name, inputs: len(sw.In), selBits: len(sw.Sel), opt: opt.withDefaults()}
+	if len(sw.In) > 0 {
+		k.busWidth = len(sw.In[0].Data)
+		k.destBits = len(sw.In[0].Dest)
+	}
+	// The library is fingerprinted by its constructor inputs: NewLibrary
+	// derives every cell capacitance from (unitCapFF, VDD), with the Inv
+	// pin cap equal to the unit and LocalWireCapFF proportional to it.
+	// If Library ever grows independently settable parameters, they must
+	// be added here or equal-keyed libraries would share a cache entry.
+	if lib := sw.Netlist.Library(); lib != nil {
+		k.vdd = lib.VDD
+		k.wireCapFF = lib.LocalWireCapFF
+		if pins := lib.Cell(gates.Inv).PinCapFF; len(pins) > 0 {
+			k.unitCapFF = pins[0]
+		}
+	}
+	return k
+}
+
+type charEntry struct {
+	once sync.Once
+	tab  Table
+	err  error
+}
+
+// CharCache memoizes Characterize results per configuration. The zero
+// value is not usable; use NewCharCache. All methods are safe for
+// concurrent use: the mutex guards only the key lookup, so distinct
+// configurations characterize in parallel while concurrent requests for
+// the same configuration share a single run.
+type CharCache struct {
+	mu      sync.Mutex
+	entries map[charKey]*charEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewCharCache returns an empty characterization cache.
+func NewCharCache() *CharCache {
+	return &CharCache{entries: make(map[charKey]*charEntry)}
+}
+
+// Characterize returns the table for (sw, opt), running the gate-level
+// characterization at most once per configuration for the cache's
+// lifetime. The returned Table is shared across callers and must be
+// treated as read-only.
+func (c *CharCache) Characterize(sw *circuits.Switch, opt CharOptions) (Table, error) {
+	key := keyOf(sw, opt)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &charEntry{}
+		c.entries[key] = e
+		c.misses++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tab, e.err = Characterize(sw, opt) })
+	return e.tab, e.err
+}
+
+// Stats reports cache hits (lookups served from memory) and misses
+// (lookups that ran a characterization).
+func (c *CharCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached configurations.
+func (c *CharCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// defaultCharCache is the process-wide cache behind CharacterizeCached.
+var defaultCharCache = NewCharCache()
+
+// CharacterizeCached is Characterize through the process-wide cache:
+// identical (switch, technology, options) configurations are characterized
+// once per process instead of once per call site or sweep point. The
+// returned Table is shared and must be treated as read-only.
+func CharacterizeCached(sw *circuits.Switch, opt CharOptions) (Table, error) {
+	return defaultCharCache.Characterize(sw, opt)
+}
+
+// paperMuxCache memoizes the compiled-in Table 1 MUX tables, which every
+// fully-connected fabric construction (one per sweep point) would
+// otherwise rebuild, log-log fit included.
+var paperMuxCache struct {
+	mu sync.Mutex
+	m  map[int]Table
+}
+
+// CachedPaperMux returns the process-shared paper MUX table for n inputs.
+// The returned Table is shared across goroutines and must be treated as
+// read-only.
+func CachedPaperMux(n int) (Table, error) {
+	paperMuxCache.mu.Lock()
+	defer paperMuxCache.mu.Unlock()
+	if t, ok := paperMuxCache.m[n]; ok {
+		return t, nil
+	}
+	t, err := PaperMux(n)
+	if err != nil {
+		return nil, err
+	}
+	if paperMuxCache.m == nil {
+		paperMuxCache.m = make(map[int]Table)
+	}
+	paperMuxCache.m[n] = t
+	return t, nil
+}

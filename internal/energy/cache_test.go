@@ -1,0 +1,153 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+
+	"fabricpower/internal/circuits"
+	"fabricpower/internal/gates"
+)
+
+// TestCharCacheSingleRun: concurrent requests for the same configuration
+// (distinct netlist instances, equal keys) share exactly one gate-level
+// characterization and one table. Run under -race in CI.
+func TestCharCacheSingleRun(t *testing.T) {
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCharCache()
+	opt := CharOptions{Cycles: 16, Seed: 5}
+	const workers = 8
+	tabs := make([]Table, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw, err := circuits.BanyanSwitch(lib, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tab, err := cache.Characterize(sw, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tabs[i] = tab
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if tabs[i] != tabs[0] {
+			t.Fatalf("goroutine %d got a different table instance", i)
+		}
+	}
+	hits, misses := cache.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (one characterization per configuration)", misses)
+	}
+	if hits != workers-1 {
+		t.Fatalf("hits = %d, want %d", hits, workers-1)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+// TestCharCacheDistinguishesConfigurations: a different bus width, option
+// set or technology point must not alias.
+func TestCharCacheDistinguishesConfigurations(t *testing.T) {
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := gates.NewLibrary(2.0, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCharCache()
+	opt := CharOptions{Cycles: 16, Seed: 5}
+	build := func(l *gates.Library, width int) *circuits.Switch {
+		sw, err := circuits.BanyanSwitch(l, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	configs := []struct {
+		sw  *circuits.Switch
+		opt CharOptions
+	}{
+		{build(lib, 8), opt},
+		{build(lib, 16), opt},                             // wider bus
+		{build(lib2, 8), opt},                             // lower VDD
+		{build(lib, 8), CharOptions{Cycles: 16, Seed: 6}}, // different seed
+	}
+	for _, c := range configs {
+		if _, err := cache.Characterize(c.sw, c.opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != len(configs) {
+		t.Fatalf("cache holds %d entries, want %d distinct", cache.Len(), len(configs))
+	}
+}
+
+// TestCharCacheMatchesUncached: the cached result is the plain
+// Characterize result.
+func TestCharCacheMatchesUncached(t *testing.T) {
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := circuits.BanyanSwitch(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CharOptions{Cycles: 16, Seed: 5}
+	want, err := Characterize(sw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCharCache().Characterize(sw, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := Vector(0); v < 4; v++ {
+		if got.EnergyFJ(v) != want.EnergyFJ(v) {
+			t.Fatalf("vector %v: cached %g, uncached %g", v, got.EnergyFJ(v), want.EnergyFJ(v))
+		}
+	}
+}
+
+// TestCachedPaperMux: shared instance per size, distinct across sizes,
+// same values as the uncached constructor.
+func TestCachedPaperMux(t *testing.T) {
+	a, err := CachedPaperMux(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedPaperMux(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same size must return the shared table")
+	}
+	c, err := CachedPaperMux(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different sizes must not alias")
+	}
+	plain, err := PaperMux(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EnergyFJ(0b1) != plain.EnergyFJ(0b1) {
+		t.Fatalf("cached %g, plain %g", a.EnergyFJ(0b1), plain.EnergyFJ(0b1))
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // Vector is an input-occupancy vector: bit i set means a packet is present
@@ -233,11 +234,18 @@ func PaperMuxEnergyFJ(n int) (float64, error) {
 	if fj, ok := paperMuxFJ[n]; ok {
 		return fj, nil
 	}
-	// Least-squares fit of ln(E) = a + b·ln(N) over the four points.
+	// Least-squares fit of ln(E) = a + b·ln(N) over the published points,
+	// accumulated in sorted key order so the fit is bit-reproducible
+	// (map iteration order would perturb the float sums).
+	keys := make([]int, 0, len(paperMuxFJ))
+	for k := range paperMuxFJ {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	var sx, sy, sxx, sxy float64
 	cnt := 0.0
-	for k, fj := range paperMuxFJ {
-		x, y := math.Log(float64(k)), math.Log(fj)
+	for _, k := range keys {
+		x, y := math.Log(float64(k)), math.Log(paperMuxFJ[k])
 		sx += x
 		sy += y
 		sxx += x * x

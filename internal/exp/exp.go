@@ -1,10 +1,12 @@
 // Package exp contains the experiment runners that regenerate every table
-// and figure of the paper's evaluation, plus the ablations DESIGN.md calls
-// out. Each runner returns a structured result with Render (text report),
-// and where applicable CSV, so the CLI, the tests and the benchmarks share
-// one implementation.
+// and figure of the paper's evaluation, plus the accounting ablations.
+// Each runner returns a structured result with Render (text report), and
+// where applicable CSV, so the CLI, the tests and the benchmarks share
+// one implementation. Sweep-shaped runners fan their operating points
+// across worker goroutines (SimParams.Workers) with results bit-identical
+// to a sequential run — see internal/sweep.
 //
-// Experiment index (see DESIGN.md §4):
+// Experiment index:
 //
 //	Table 1  — RunTable1: node-switch LUTs, gate-level recharacterization
 //	Table 2  — RunTable2: Banyan shared-SRAM buffer bit energy
@@ -24,6 +26,7 @@ import (
 	"fabricpower/internal/packet"
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
 	"fabricpower/internal/traffic"
 )
 
@@ -39,6 +42,12 @@ type SimParams struct {
 	CellBits int
 	// Queue selects the ingress discipline (default FIFO, the paper's).
 	Queue router.QueueDiscipline
+	// Workers bounds a sweep's parallelism: every figure and study
+	// runner fans its independent operating points across this many
+	// goroutines via internal/sweep (0 = one per core, 1 = sequential).
+	// Results are bit-identical for any worker count — see sweep's
+	// package documentation for why.
+	Workers int
 }
 
 // WithDefaults fills unset fields.
@@ -77,7 +86,7 @@ func RunPoint(model core.Model, arch core.Architecture, ports int, load float64,
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("exp: %v %d ports: %w", arch, ports, err)
 	}
-	gen, err := traffic.NewInjector(ports, load, p.cellConfig(), nil, p.Seed+int64(ports)*1000+int64(load*100))
+	gen, err := traffic.NewInjector(ports, load, p.cellConfig(), nil, sweep.PointSeed(p.Seed, ports, load))
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -85,6 +94,21 @@ func RunPoint(model core.Model, arch core.Architecture, ports int, load float64,
 		WarmupSlots:  p.WarmupSlots,
 		MeasureSlots: p.MeasureSlots,
 	})
+}
+
+// runPoints evaluates the operating points with the sweep engine: fanned
+// across p.Workers goroutines, results in point order regardless of the
+// worker count.
+func runPoints(model core.Model, pts []sweep.Point, p SimParams) ([]sim.Result, error) {
+	return sweep.Map(p.Workers, pts, func(_ int, pt sweep.Point) (sim.Result, error) {
+		return RunPoint(model, pt.Arch, pt.Ports, pt.Load, p)
+	})
+}
+
+// batcherFeasible rejects the one infeasible grid corner: Batcher-Banyan
+// needs N ≥ 4.
+func batcherFeasible(pt sweep.Point) bool {
+	return pt.Arch != core.BatcherBanyan || pt.Ports >= 4
 }
 
 // DefaultSizes returns the paper's port configurations (4×4 … 32×32).

@@ -7,6 +7,7 @@ import (
 	"fabricpower/internal/core"
 	"fabricpower/internal/plot"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
 )
 
 // Fig10Point is one bar of Fig. 10.
@@ -25,7 +26,8 @@ type Fig10 struct {
 	Points []Fig10Point
 }
 
-// RunFig10 regenerates Fig. 10 at the given load (the paper uses 50%).
+// RunFig10 regenerates Fig. 10 at the given load (the paper uses 50%),
+// with the points fanned across p.Workers goroutines.
 func RunFig10(model core.Model, sizes []int, load float64, p SimParams) (*Fig10, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultSizes()
@@ -33,18 +35,14 @@ func RunFig10(model core.Model, sizes []int, load float64, p SimParams) (*Fig10,
 	if load <= 0 {
 		load = 0.5
 	}
-	f := &Fig10{Load: load, Sizes: sizes}
-	for _, n := range sizes {
-		for _, arch := range core.Architectures() {
-			if arch == core.BatcherBanyan && n < 4 {
-				continue
-			}
-			res, err := RunPoint(model, arch, n, load, p)
-			if err != nil {
-				return nil, err
-			}
-			f.Points = append(f.Points, Fig10Point{Arch: arch, Ports: n, Result: res})
-		}
+	pts := sweep.Grid(sizes, core.Architectures(), []float64{load}, batcherFeasible)
+	results, err := runPoints(model, pts, p)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig10{Load: load, Sizes: sizes, Points: make([]Fig10Point, len(pts))}
+	for i, pt := range pts {
+		f.Points[i] = Fig10Point{Arch: pt.Arch, Ports: pt.Ports, Result: results[i]}
 	}
 	return f, nil
 }
@@ -62,8 +60,8 @@ func (f *Fig10) Power(arch core.Architecture, ports int) (float64, bool) {
 // FCBatcherGap returns the relative power difference between fully
 // connected and Batcher-Banyan at one size: (BB − FC)/BB. The paper
 // reports it shrinking from 37% (4×4) to 20% (32×32); this reproduction
-// recovers the sign and the monotone narrowing (see EXPERIMENTS.md for
-// the magnitude discussion).
+// recovers the sign and the monotone narrowing (the magnitudes differ
+// because our LUT constants are re-derived, not the paper's silicon).
 func (f *Fig10) FCBatcherGap(ports int) (float64, error) {
 	fc, ok1 := f.Power(core.FullyConnected, ports)
 	bb, ok2 := f.Power(core.BatcherBanyan, ports)

@@ -7,6 +7,7 @@ import (
 	"fabricpower/internal/core"
 	"fabricpower/internal/plot"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
 )
 
 // Fig9Point is one simulated operating point of Fig. 9.
@@ -28,7 +29,8 @@ type Fig9 struct {
 // RunFig9 regenerates Fig. 9: for each port configuration and offered
 // load (10–50%), measure the power of all four architectures under the
 // same Bernoulli uniform traffic with input buffering and the FCFS-RR
-// arbiter.
+// arbiter. The points run on the sweep engine, fanned across p.Workers
+// goroutines with deterministic, order-preserving results.
 func RunFig9(model core.Model, sizes []int, loads []float64, p SimParams) (*Fig9, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultSizes()
@@ -36,20 +38,14 @@ func RunFig9(model core.Model, sizes []int, loads []float64, p SimParams) (*Fig9
 	if len(loads) == 0 {
 		loads = DefaultLoads()
 	}
-	f := &Fig9{Sizes: sizes, Loads: loads}
-	for _, n := range sizes {
-		for _, arch := range core.Architectures() {
-			if arch == core.BatcherBanyan && n < 4 {
-				continue
-			}
-			for _, load := range loads {
-				res, err := RunPoint(model, arch, n, load, p)
-				if err != nil {
-					return nil, err
-				}
-				f.Points = append(f.Points, Fig9Point{Arch: arch, Ports: n, Offered: load, Result: res})
-			}
-		}
+	pts := sweep.Grid(sizes, core.Architectures(), loads, batcherFeasible)
+	results, err := runPoints(model, pts, p)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig9{Sizes: sizes, Loads: loads, Points: make([]Fig9Point, len(pts))}
+	for i, pt := range pts {
+		f.Points[i] = Fig9Point{Arch: pt.Arch, Ports: pt.Ports, Offered: pt.Load, Result: results[i]}
 	}
 	return f, nil
 }

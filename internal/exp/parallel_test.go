@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"fabricpower/internal/core"
+)
+
+// parallelParams keeps the determinism sweeps small but non-trivial.
+func parallelParams(workers int) SimParams {
+	return SimParams{WarmupSlots: 60, MeasureSlots: 300, Seed: 11, Workers: workers}
+}
+
+// TestFig9ParallelDeterminism is the engine's core guarantee: a sweep
+// fanned across N workers is byte-identical to the sequential run — same
+// point order, same throughputs, same energies, bit for bit.
+func TestFig9ParallelDeterminism(t *testing.T) {
+	sizes := []int{4, 8}
+	loads := []float64{0.2, 0.5}
+	seq, err := RunFig9(core.PaperModel(), sizes, loads, parallelParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		par, err := RunFig9(core.PaperModel(), sizes, loads, parallelParams(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d sweep differs from sequential run", workers)
+		}
+	}
+}
+
+// TestCrossoverParallelDeterminism covers the reduce-after-sweep path:
+// the winner per load must not depend on scheduling.
+func TestCrossoverParallelDeterminism(t *testing.T) {
+	loads := []float64{0.05, 0.30}
+	seq, err := RunCrossover(core.PerWordBufferModel(), 16, loads, parallelParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCrossover(core.PerWordBufferModel(), 16, loads, parallelParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel crossover differs from sequential run")
+	}
+}
+
+// TestTable1ParallelSharesCache exercises the characterization cache
+// concurrently (run under -race in CI): parallel workers characterizing
+// the same switch set must produce the sequential result.
+func TestTable1ParallelSharesCache(t *testing.T) {
+	opt := Table1Options{Cycles: 24, BusWidth: 8, Seed: 5}
+	opt.Workers = 1
+	seq, err := RunTable1(core.PaperModel(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	par, err := RunTable1(core.PaperModel(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel Table 1 differs from sequential run")
+	}
+}

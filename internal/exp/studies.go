@@ -9,6 +9,7 @@ import (
 	"fabricpower/internal/plot"
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
 	"fabricpower/internal/traffic"
 )
 
@@ -23,7 +24,9 @@ type Crossover struct {
 }
 
 // RunCrossover sweeps fine-grained loads at one size and records which
-// architecture draws the least power at each.
+// architecture draws the least power at each. All (load, architecture)
+// points run on the sweep engine; the winner reduction happens after, in
+// load order, so the result is independent of the worker count.
 func RunCrossover(model core.Model, ports int, loads []float64, p SimParams) (*Crossover, error) {
 	if ports == 0 {
 		ports = 32
@@ -31,15 +34,23 @@ func RunCrossover(model core.Model, ports int, loads []float64, p SimParams) (*C
 	if len(loads) == 0 {
 		loads = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
 	}
-	c := &Crossover{Ports: ports, Loads: loads}
+	archs := core.Architectures()
+	pts := make([]sweep.Point, 0, len(loads)*len(archs))
 	for _, load := range loads {
+		for _, arch := range archs {
+			pts = append(pts, sweep.Point{Arch: arch, Ports: ports, Load: load})
+		}
+	}
+	results, err := runPoints(model, pts, p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Crossover{Ports: ports, Loads: loads}
+	for li, load := range loads {
 		best := core.Architecture(-1)
 		bestP := 0.0
-		for _, arch := range core.Architectures() {
-			res, err := RunPoint(model, arch, ports, load, p)
-			if err != nil {
-				return nil, err
-			}
+		for ai, arch := range archs {
+			res := results[li*len(archs)+ai]
 			if best < 0 || res.Power.TotalMW() < bestP {
 				best = arch
 				bestP = res.Power.TotalMW()
@@ -81,18 +92,23 @@ type Saturation struct {
 }
 
 // RunSaturation sweeps offered load 10%…100% on the crossbar (the
-// fabric is irrelevant — the ceiling is a property of input buffering).
+// fabric is irrelevant — the ceiling is a property of input buffering),
+// one sweep-engine point per load.
 func RunSaturation(model core.Model, ports int, p SimParams) (*Saturation, error) {
 	if ports == 0 {
 		ports = 16
 	}
-	s := &Saturation{Ports: ports}
-	for _, offered := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
-		res, err := RunPoint(model, core.Crossbar, ports, offered, p)
-		if err != nil {
-			return nil, err
-		}
-		s.Offered = append(s.Offered, offered)
+	offers := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	pts := make([]sweep.Point, len(offers))
+	for i, offered := range offers {
+		pts[i] = sweep.Point{Arch: core.Crossbar, Ports: ports, Load: offered}
+	}
+	results, err := runPoints(model, pts, p)
+	if err != nil {
+		return nil, err
+	}
+	s := &Saturation{Ports: ports, Offered: offers}
+	for _, res := range results {
 		s.Egress = append(s.Egress, res.Throughput)
 		if res.Throughput > s.Ceiling {
 			s.Ceiling = res.Throughput

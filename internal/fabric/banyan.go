@@ -20,21 +20,26 @@ import (
 // When a node buffer fills, upstream cells hold their input latches and
 // the backpressure eventually blocks the ingress (no cell loss inside the
 // fabric).
+//
+// The per-slot hot path is allocation-free: cells carry a moved-slot
+// stamp instead of a per-slot set, node buffers are fixed-capacity rings,
+// and the delivered slice is reused across slots.
 type banyan struct {
-	cfg   Config
-	dim   int
-	wires thompson.BanyanWires
+	cfg Config
+	dim int
 
 	// latch[s][l] is the cell sitting on input line l of stage s.
 	latch [][]*packet.Cell
 	// buf[s][k] is node k's buffer FIFO at stage s; entries remember
 	// their output channel.
-	buf [][][]bufEntry
-	// moved flags cells forwarded during the current Step so a cell
-	// advances at most one stage per slot.
-	moved map[*packet.Cell]bool
+	buf [][]bufRing
 	// bank[s] holds the word state of the N output lines of stage s.
 	bank []*wireBank
+	// stageGrids caches the per-stage interconnect lengths (shared,
+	// read-only — see thompson.BanyanStageGridTable).
+	stageGrids []int
+	// delivered is reused across Step calls (see Fabric.Step).
+	delivered []*packet.Cell
 
 	bufferCap    int
 	energy       core.Breakdown
@@ -48,6 +53,28 @@ type bufEntry struct {
 	channel int
 }
 
+// bufRing is a fixed-capacity FIFO of buffered cells. Ring storage keeps
+// buffering events off the allocator: a grow-and-reslice queue would
+// reallocate on nearly every push once its head had been sliced away.
+type bufRing struct {
+	entries []bufEntry
+	head, n int
+}
+
+func (r *bufRing) len() int        { return r.n }
+func (r *bufRing) front() bufEntry { return r.entries[r.head] }
+
+func (r *bufRing) pop() {
+	r.entries[r.head] = bufEntry{}
+	r.head = (r.head + 1) % len(r.entries)
+	r.n--
+}
+
+func (r *bufRing) push(e bufEntry) {
+	r.entries[(r.head+r.n)%len(r.entries)] = e
+	r.n++
+}
+
 func newBanyan(cfg Config) (*banyan, error) {
 	dim, err := dimOf(cfg.Ports)
 	if err != nil {
@@ -58,18 +85,21 @@ func newBanyan(cfg Config) (*banyan, error) {
 		return nil, err
 	}
 	b := &banyan{
-		cfg:       cfg,
-		dim:       dim,
-		wires:     thompson.BanyanWires{Dimension: dim},
-		latch:     make([][]*packet.Cell, dim),
-		buf:       make([][][]bufEntry, dim),
-		bank:      make([]*wireBank, dim),
-		bufferCap: cfg.bufferCells(),
-		ebFJ:      eb,
+		cfg:        cfg,
+		dim:        dim,
+		latch:      make([][]*packet.Cell, dim),
+		buf:        make([][]bufRing, dim),
+		bank:       make([]*wireBank, dim),
+		stageGrids: thompson.BanyanStageGridTable(dim),
+		bufferCap:  cfg.bufferCells(),
+		ebFJ:       eb,
 	}
 	for s := 0; s < dim; s++ {
 		b.latch[s] = make([]*packet.Cell, cfg.Ports)
-		b.buf[s] = make([][]bufEntry, cfg.Ports/2)
+		b.buf[s] = make([]bufRing, cfg.Ports/2)
+		for k := range b.buf[s] {
+			b.buf[s][k].entries = make([]bufEntry, b.bufferCap)
+		}
 		b.bank[s] = newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ())
 	}
 	return b, nil
@@ -113,14 +143,13 @@ func (b *banyan) Offer(c *packet.Cell) bool {
 
 // Step advances the pipeline one slot, last stage first so freed latches
 // accept upstream cells within the slot (tight pipelining, still one
-// stage per cell per slot thanks to the moved set).
+// stage per cell per slot thanks to the moved stamps).
 func (b *banyan) Step(slot uint64) []*packet.Cell {
-	var delivered []*packet.Cell
-	b.moved = make(map[*packet.Cell]bool)
+	b.delivered = b.delivered[:0]
 	cellBits := float64(b.cfg.Cell.CellBits)
 
 	for s := b.dim - 1; s >= 0; s-- {
-		grids := float64(b.wires.StageGrids(s))
+		grids := float64(b.stageGrids[s])
 		for k := 0; k < b.cfg.Ports/2; k++ {
 			in0, in1 := 2*k, 2*k+1
 			var vec energy.Vector
@@ -136,23 +165,23 @@ func (b *banyan) Step(slot uint64) []*packet.Cell {
 				}
 				// Candidate: buffered cells first (FCFS), then latches in
 				// port order.
-				cell, fromBuffer := b.pickCandidate(s, k, o)
+				cell, fromBuffer := b.pickCandidate(slot, s, k, o)
 				if cell == nil || !targetFree {
 					continue
 				}
 				// Commit the move.
 				if fromBuffer {
-					b.buf[s][k] = b.buf[s][k][1:]
+					b.buf[s][k].pop()
 				} else if b.latch[s][in0] == cell {
 					b.latch[s][in0] = nil
 				} else {
 					b.latch[s][in1] = nil
 				}
-				b.moved[cell] = true
+				cell.MarkMoved(slot)
 				// Wire energy on the stage-s output link.
 				b.energy.Accumulate(core.WireComponent, b.bank[s].cross(outLine, cell.Payload, grids))
 				if s == b.dim-1 {
-					delivered = append(delivered, cell)
+					b.delivered = append(b.delivered, cell)
 					b.inFlight--
 				} else {
 					b.latch[s+1][targetIdx] = cell
@@ -168,22 +197,22 @@ func (b *banyan) Step(slot uint64) []*packet.Cell {
 			// Cells still latched at this node now try to park in the
 			// node buffer (interconnect contention or downstream
 			// blocking), freeing the input line for the upstream stage.
-			b.parkLosers(s, k, cellBits)
+			b.parkLosers(slot, s, k, cellBits)
 		}
 	}
-	return delivered
+	return b.delivered
 }
 
 // pickCandidate returns the next cell for channel o of node k at stage s:
 // the oldest buffered cell for that channel, else the lowest-port latched
 // cell routing to o that has not moved this slot.
-func (b *banyan) pickCandidate(s, k, o int) (*packet.Cell, bool) {
-	if q := b.buf[s][k]; len(q) > 0 && q[0].channel == o {
-		return q[0].cell, true
+func (b *banyan) pickCandidate(slot uint64, s, k, o int) (*packet.Cell, bool) {
+	if q := &b.buf[s][k]; q.len() > 0 && q.front().channel == o {
+		return q.front().cell, true
 	}
-	for _, line := range []int{2 * k, 2*k + 1} {
-		c := b.latch[s][line]
-		if c != nil && !b.moved[c] && b.routeBit(c, s) == o {
+	for d := 0; d < 2; d++ {
+		c := b.latch[s][2*k+d]
+		if c != nil && !c.MovedIn(slot) && b.routeBit(c, s) == o {
 			return c, false
 		}
 	}
@@ -193,16 +222,17 @@ func (b *banyan) pickCandidate(s, k, o int) (*packet.Cell, bool) {
 // parkLosers moves still-latched, not-yet-moved cells of node k into its
 // buffer while capacity remains, charging E_B per bit (one buffering
 // event); cells that do not fit stay latched and block upstream.
-func (b *banyan) parkLosers(s, k int, cellBits float64) {
-	for _, line := range []int{2 * k, 2*k + 1} {
+func (b *banyan) parkLosers(slot uint64, s, k int, cellBits float64) {
+	for d := 0; d < 2; d++ {
+		line := 2*k + d
 		c := b.latch[s][line]
-		if c == nil || b.moved[c] {
+		if c == nil || c.MovedIn(slot) {
 			continue
 		}
-		if len(b.buf[s][k]) >= b.bufferCap {
+		if b.buf[s][k].len() >= b.bufferCap {
 			continue
 		}
-		b.buf[s][k] = append(b.buf[s][k], bufEntry{cell: c, channel: b.routeBit(c, s)})
+		b.buf[s][k].push(bufEntry{cell: c, channel: b.routeBit(c, s)})
 		b.latch[s][line] = nil
 		b.bufferEvents++
 		b.energy.Accumulate(core.BufferComponent, b.ebFJ*cellBits)

@@ -31,9 +31,20 @@ type batcherBanyan struct {
 	waves []*wave
 	// entering accumulates this slot's admissions until Step.
 	entering *wave
+	// wavePool recycles completed waves so steady-state slots allocate
+	// nothing; the pool is bounded by the pipeline depth.
+	wavePool []*wave
+	// scratch is the stage-input shuffle buffer reused by banyanStage.
+	scratch []*packet.Cell
+	// delivered is reused across Step calls (see Fabric.Step).
+	delivered []*packet.Cell
 	// sortBank[g] and banyanBank[s] hold per-line word states.
 	sortBank   []*wireBank
 	banyanBank []*wireBank
+	// sortGrids and banyanGrids cache the per-stage wire lengths
+	// (shared, read-only — see thompson's stage-grid tables).
+	sortGrids   []int
+	banyanGrids []int
 
 	energy    core.Breakdown
 	inFlight  int
@@ -56,11 +67,14 @@ func newBatcherBanyan(cfg Config) (*batcherBanyan, error) {
 	}
 	w := thompson.BatcherBanyanWires{Dimension: dim}
 	b := &batcherBanyan{
-		cfg:        cfg,
-		dim:        dim,
-		wires:      w,
-		sortBank:   make([]*wireBank, w.SorterStages()),
-		banyanBank: make([]*wireBank, dim),
+		cfg:         cfg,
+		dim:         dim,
+		wires:       w,
+		scratch:     make([]*packet.Cell, cfg.Ports),
+		sortBank:    make([]*wireBank, w.SorterStages()),
+		banyanBank:  make([]*wireBank, dim),
+		sortGrids:   thompson.SorterStageGridTable(dim),
+		banyanGrids: thompson.BanyanStageGridTable(dim),
 	}
 	et := cfg.Model.Tech.ETBitFJ()
 	for g := range b.sortBank {
@@ -92,7 +106,7 @@ func (b *batcherBanyan) Offer(c *packet.Cell) bool {
 		return false
 	}
 	if b.entering == nil {
-		b.entering = &wave{cells: make([]*packet.Cell, b.cfg.Ports)}
+		b.entering = b.newWave()
 	}
 	if b.entering.cells[c.Src] != nil {
 		return false
@@ -107,13 +121,28 @@ func (b *batcherBanyan) Offer(c *packet.Cell) bool {
 	return true
 }
 
+// newWave returns a zeroed wave, recycling a completed one when the pool
+// has any.
+func (b *batcherBanyan) newWave() *wave {
+	if n := len(b.wavePool); n > 0 {
+		w := b.wavePool[n-1]
+		b.wavePool = b.wavePool[:n-1]
+		for i := range w.cells {
+			w.cells[i] = nil
+		}
+		w.stage = 0
+		return w
+	}
+	return &wave{cells: make([]*packet.Cell, b.cfg.Ports)}
+}
+
 // Step advances every wave one stage.
 func (b *batcherBanyan) Step(slot uint64) []*packet.Cell {
 	if b.entering != nil {
 		b.waves = append(b.waves, b.entering)
 		b.entering = nil
 	}
-	var delivered []*packet.Cell
+	b.delivered = b.delivered[:0]
 	sorterStages := b.wires.SorterStages()
 	keep := b.waves[:0]
 	for _, w := range b.waves {
@@ -131,18 +160,21 @@ func (b *batcherBanyan) Step(slot uint64) []*packet.Cell {
 						// expected (self-routing is deterministic).
 						b.conflicts++
 					}
-					delivered = append(delivered, c)
+					b.delivered = append(b.delivered, c)
 					b.inFlight--
 				}
 			}
+			b.wavePool = append(b.wavePool, w)
 			continue
 		}
 		if w.hasCells() {
 			keep = append(keep, w)
+		} else {
+			b.wavePool = append(b.wavePool, w)
 		}
 	}
 	b.waves = keep
-	return delivered
+	return b.delivered
 }
 
 func (w *wave) hasCells() bool {
@@ -175,7 +207,7 @@ func (b *batcherBanyan) sortStage(w *wave) {
 	k := rem
 	d := 1 << uint(j-k) // compare distance
 	cellBits := float64(b.cfg.Cell.CellBits)
-	grids := float64(b.wires.SorterStageGrids(g))
+	grids := float64(b.sortGrids[g])
 	n := b.cfg.Ports
 	for i := 0; i < n; i++ {
 		if i&d != 0 {
@@ -206,11 +238,13 @@ func (b *batcherBanyan) sortStage(w *wave) {
 		b.energy.Accumulate(core.SwitchComponent,
 			b.cfg.Model.Batcher2x2.EnergyFJ(vec)*cellBits)
 		// Link energy: each occupied output line crosses the stage wire.
-		for _, line := range []int{lo, hi} {
-			if cc := w.cells[line]; cc != nil {
-				b.energy.Accumulate(core.WireComponent,
-					b.sortBank[g].cross(line, cc.Payload, grids))
-			}
+		if cc := w.cells[lo]; cc != nil {
+			b.energy.Accumulate(core.WireComponent,
+				b.sortBank[g].cross(lo, cc.Payload, grids))
+		}
+		if cc := w.cells[hi]; cc != nil {
+			b.energy.Accumulate(core.WireComponent,
+				b.sortBank[g].cross(hi, cc.Payload, grids))
 		}
 	}
 }
@@ -226,18 +260,26 @@ func (b *batcherBanyan) shuffle(l int) int {
 func (b *batcherBanyan) banyanStage(w *wave, s int) {
 	n := b.cfg.Ports
 	cellBits := float64(b.cfg.Cell.CellBits)
-	grids := float64(b.wires.BanyanStageGrids(s))
-	// Shuffle into stage inputs.
-	in := make([]*packet.Cell, n)
+	grids := float64(b.banyanGrids[s])
+	// Shuffle into the scratch stage-input buffer, then route back into
+	// the wave's own cells slice — no per-stage allocation.
+	in := b.scratch
+	for i := range in {
+		in[i] = nil
+	}
 	for l, c := range w.cells {
 		if c != nil {
 			in[b.shuffle(l)] = c
 		}
 	}
-	out := make([]*packet.Cell, n)
+	out := w.cells
+	for i := range out {
+		out[i] = nil
+	}
 	for k := 0; k < n/2; k++ {
 		var vec energy.Vector
-		for _, line := range []int{2 * k, 2*k + 1} {
+		for d := 0; d < 2; d++ {
+			line := 2*k + d
 			c := in[line]
 			if c == nil {
 				continue
@@ -251,11 +293,7 @@ func (b *batcherBanyan) banyanStage(w *wave, s int) {
 				continue
 			}
 			out[outLine] = c
-			if line == 2*k {
-				vec |= 0b01
-			} else {
-				vec |= 0b10
-			}
+			vec |= 1 << uint(d)
 			b.energy.Accumulate(core.WireComponent,
 				b.banyanBank[s].cross(outLine, c.Payload, grids))
 		}
@@ -264,5 +302,4 @@ func (b *batcherBanyan) banyanStage(w *wave, s int) {
 				b.cfg.Model.Banyan2x2.EnergyFJ(vec)*cellBits)
 		}
 	}
-	w.cells = out
 }

@@ -14,24 +14,28 @@ import (
 // wire and the full column wire (4N grids each) and toggles the input
 // gates of the N crosspoints sharing its row (N·E_S).
 type crossbar struct {
-	cfg      Config
-	wires    thompson.CrossbarWires
-	rowBank  *wireBank
-	colBank  *wireBank
-	pending  []*packet.Cell
-	destBusy []bool
-	energy   core.Breakdown
-	xpFJ     float64 // crosspoint LUT energy for an active input
+	cfg       Config
+	rowBank   *wireBank
+	colBank   *wireBank
+	pending   []*packet.Cell
+	delivered []*packet.Cell // reused across Step calls (see Fabric.Step)
+	destBusy  []bool
+	energy    core.Breakdown
+	xpFJ      float64 // crosspoint LUT energy for an active input
+	rowGrids  float64
+	colGrids  float64
 }
 
 func newCrossbar(cfg Config) (*crossbar, error) {
+	wires := thompson.CrossbarWires{N: cfg.Ports}
 	return &crossbar{
 		cfg:      cfg,
-		wires:    thompson.CrossbarWires{N: cfg.Ports},
 		rowBank:  newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ()),
 		colBank:  newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ()),
 		destBusy: make([]bool, cfg.Ports),
 		xpFJ:     cfg.Model.Crosspoint.EnergyFJ(0b1),
+		rowGrids: float64(wires.RowGrids()),
+		colGrids: float64(wires.ColGrids()),
 	}, nil
 }
 
@@ -55,10 +59,11 @@ func (x *crossbar) Offer(c *packet.Cell) bool {
 	return true
 }
 
-// Step transports every offered cell in this slot.
+// Step transports every offered cell in this slot. The two slot buffers
+// swap roles so neither is reallocated after warmup.
 func (x *crossbar) Step(slot uint64) []*packet.Cell {
-	delivered := x.pending
-	x.pending = nil
+	x.pending, x.delivered = x.delivered[:0], x.pending
+	delivered := x.delivered
 	for i := range x.destBusy {
 		x.destBusy[i] = false
 	}
@@ -67,10 +72,8 @@ func (x *crossbar) Step(slot uint64) []*packet.Cell {
 		// N crosspoints on the row see the bit stream (Eq. 3's N·E_S).
 		x.energy.Accumulate(core.SwitchComponent, float64(x.cfg.Ports)*x.xpFJ*cellBits)
 		// Full row and column wires, flip-accurate.
-		rowGrids := float64(x.wires.RowGrids())
-		colGrids := float64(x.wires.ColGrids())
-		x.energy.Accumulate(core.WireComponent, x.rowBank.cross(c.Src, c.Payload, rowGrids))
-		x.energy.Accumulate(core.WireComponent, x.colBank.cross(c.Dest, c.Payload, colGrids))
+		x.energy.Accumulate(core.WireComponent, x.rowBank.cross(c.Src, c.Payload, x.rowGrids))
+		x.energy.Accumulate(core.WireComponent, x.colBank.cross(c.Dest, c.Payload, x.colGrids))
 	}
 	return delivered
 }

@@ -87,7 +87,11 @@ type Fabric interface {
 	// queued.
 	Offer(c *packet.Cell) bool
 	// Step advances one slot and returns the cells delivered at their
-	// egress ports during this slot.
+	// egress ports during this slot. The returned slice is owned by the
+	// fabric and reused by the next Step call (the slot hot path is
+	// allocation-free); callers must copy it to retain it. Slot numbers
+	// must be distinct across the Step calls any one cell is alive for —
+	// in practice, monotonically increasing.
 	Step(slot uint64) []*packet.Cell
 	// InFlight returns the number of cells inside the fabric.
 	InFlight() int

@@ -14,16 +14,17 @@ import (
 // Energy per transported bit follows Eq. 4: one MUX traversal (E_S grows
 // with N per Table 1) plus the worst-case ½·N² grids of input-to-MUX bus.
 type fullyConnected struct {
-	cfg     Config
-	wires   thompson.FullyConnectedWires
-	inBank  *wireBank
-	pending []*packet.Cell
-	busy    []bool
-	energy  core.Breakdown
-	mux     energy.Table
-	// avgWires selects the refined ¼·N² average wire model for the
-	// layout-sensitivity ablation; default is the paper's worst case.
-	avgWires bool
+	cfg       Config
+	inBank    *wireBank
+	pending   []*packet.Cell
+	delivered []*packet.Cell // reused across Step calls (see Fabric.Step)
+	busy      []bool
+	energy    core.Breakdown
+	mux       energy.Table
+	// grids is the per-bit wire charge: the paper's worst-case ½·N², or
+	// the routed-average ¼·N² when Config.FCAverageWires selects the
+	// layout-sensitivity ablation.
+	grids float64
 }
 
 func newFullyConnected(cfg Config) (*fullyConnected, error) {
@@ -31,13 +32,17 @@ func newFullyConnected(cfg Config) (*fullyConnected, error) {
 	if err != nil {
 		return nil, err
 	}
+	wires := thompson.FullyConnectedWires{N: cfg.Ports}
+	grids := float64(wires.WorstGrids())
+	if cfg.FCAverageWires {
+		grids = float64(wires.AvgGrids())
+	}
 	return &fullyConnected{
-		cfg:      cfg,
-		wires:    thompson.FullyConnectedWires{N: cfg.Ports},
-		inBank:   newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ()),
-		busy:     make([]bool, cfg.Ports),
-		mux:      mux,
-		avgWires: cfg.FCAverageWires,
+		cfg:    cfg,
+		inBank: newWireBank(cfg.Ports, cfg.Model.Tech.ETBitFJ()),
+		busy:   make([]bool, cfg.Ports),
+		mux:    mux,
+		grids:  grids,
 	}, nil
 }
 
@@ -61,23 +66,20 @@ func (f *fullyConnected) Offer(c *packet.Cell) bool {
 	return true
 }
 
-// Step transports every offered cell in this slot.
+// Step transports every offered cell in this slot. The two slot buffers
+// swap roles so neither is reallocated after warmup.
 func (f *fullyConnected) Step(slot uint64) []*packet.Cell {
-	delivered := f.pending
-	f.pending = nil
+	f.pending, f.delivered = f.delivered[:0], f.pending
+	delivered := f.delivered
 	for i := range f.busy {
 		f.busy[i] = false
 	}
 	cellBits := float64(f.cfg.Cell.CellBits)
-	grids := float64(f.wires.WorstGrids())
-	if f.avgWires {
-		grids = float64(f.wires.AvgGrids())
-	}
 	for _, c := range delivered {
 		// One N-input MUX traversal per cell (Eq. 4's E_S term).
 		f.energy.Accumulate(core.SwitchComponent, f.mux.EnergyFJ(0b1)*cellBits)
 		// The input bus to the selected MUX, flip-accurate.
-		f.energy.Accumulate(core.WireComponent, f.inBank.cross(c.Src, c.Payload, grids))
+		f.energy.Accumulate(core.WireComponent, f.inBank.cross(c.Src, c.Payload, f.grids))
 	}
 	return delivered
 }

@@ -87,6 +87,9 @@ func (n *Netlist) MarkOutput(id NetID) {
 	n.outs = append(n.outs, id)
 }
 
+// Library returns the cell library the netlist was built against.
+func (n *Netlist) Library() *Library { return n.lib }
+
 // Name attaches a debug name to a net.
 func (n *Netlist) Name(id NetID, name string) {
 	if name != "" {

@@ -12,6 +12,11 @@ type Simulator struct {
 	capFF []float64
 	order []int // combinational gate evaluation order
 	dffs  []int
+	// sampled is ClockEdge's D-capture buffer, hoisted here so the
+	// per-cycle path does not allocate.
+	sampled []bool
+	// dffClockFJ is the per-flop clock-pin energy, charged every edge.
+	dffClockFJ float64
 
 	energyFJ float64
 	toggles  int64
@@ -74,6 +79,8 @@ func NewSimulator(n *Netlist) (*Simulator, error) {
 	if len(s.order) != comb {
 		return nil, fmt.Errorf("gates: netlist has a combinational cycle (%d of %d gates levelized)", len(s.order), comb)
 	}
+	s.sampled = make([]bool, len(s.dffs))
+	s.dffClockFJ = n.lib.ToggleEnergyFJ(n.lib.Cell(Dff).ClockCapFF)
 	return s, nil
 }
 
@@ -147,15 +154,12 @@ func (s *Simulator) Settle() {
 // each flop, and settles the downstream logic.
 func (s *Simulator) ClockEdge() {
 	// Sample first so flop-to-flop paths behave like real registers.
-	sampled := make([]bool, len(s.dffs))
 	for i, gi := range s.dffs {
-		sampled[i] = s.value[s.n.gates[gi].ins[0]]
+		s.sampled[i] = s.value[s.n.gates[gi].ins[0]]
 	}
 	for i, gi := range s.dffs {
-		g := s.n.gates[gi]
-		cell := s.n.lib.Cell(Dff)
-		s.energyFJ += s.n.lib.ToggleEnergyFJ(cell.ClockCapFF)
-		s.setNet(g.out, sampled[i])
+		s.energyFJ += s.dffClockFJ
+		s.setNet(s.n.gates[gi].out, s.sampled[i])
 	}
 	s.Settle()
 }

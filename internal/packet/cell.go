@@ -60,7 +60,22 @@ type Cell struct {
 	Payload []uint32
 	// CreatedSlot is the injection slot, for latency accounting.
 	CreatedSlot uint64
+
+	// moved stamps the last slot in which a fabric advanced the cell one
+	// stage, stored as slot+1 so the zero value means "never moved". The
+	// stamp replaces the per-slot map the multistage fabrics would
+	// otherwise allocate to stop a cell crossing two stages in one slot.
+	moved uint64
 }
+
+// MarkMoved records that the cell advanced one fabric stage during slot.
+// Fabrics compare stamps by equality, so slot numbers only need to be
+// distinct across the Step calls a cell is alive for (in practice they
+// increase monotonically).
+func (c *Cell) MarkMoved(slot uint64) { c.moved = slot + 1 }
+
+// MovedIn reports whether the cell already advanced a stage during slot.
+func (c *Cell) MovedIn(slot uint64) bool { return c.moved == slot+1 }
 
 // Bits returns the cell size in bits.
 func (c *Cell) Bits() int { return len(c.Payload) * 32 }

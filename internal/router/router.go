@@ -101,11 +101,13 @@ type Router struct {
 	// FIFO discipline state.
 	fifoQ    [][]*packet.Cell
 	arbFCFS  *arbiter.FCFSRR
-	arrivals [][]uint64 // arrival slot per queued cell (parallel to fifoQ)
+	arrivals [][]uint64        // arrival slot per queued cell (parallel to fifoQ)
+	reqs     []arbiter.Request // per-slot request buffer, reused
 
 	// VOQ discipline state.
 	voq     [][][]*packet.Cell // [ingress][egress] queue
 	arbSLIP *arbiter.ISLIP
+	voqReq  [][]bool // per-slot occupancy matrix, reused
 
 	metrics Metrics
 }
@@ -136,8 +138,10 @@ func New(cfg Config) (*Router, error) {
 			iters = 2
 		}
 		r.voq = make([][][]*packet.Cell, n)
+		r.voqReq = make([][]bool, n)
 		for i := range r.voq {
 			r.voq[i] = make([][]*packet.Cell, n)
+			r.voqReq[i] = make([]bool, n)
 		}
 		r.arbSLIP, err = arbiter.NewISLIP(n, iters)
 		if err != nil {
@@ -241,7 +245,7 @@ func (r *Router) Step(slot uint64) []*packet.Cell {
 // admitFIFO requests grants for queue heads and offers winners to the
 // fabric; losers and refused cells stay at their heads (HOL blocking).
 func (r *Router) admitFIFO(slot uint64) {
-	var reqs []arbiter.Request
+	reqs := r.reqs[:0]
 	for p, q := range r.fifoQ {
 		if len(q) == 0 {
 			continue
@@ -252,6 +256,7 @@ func (r *Router) admitFIFO(slot uint64) {
 			Arrival: r.arrivals[p][0],
 		})
 	}
+	r.reqs = reqs
 	for _, gi := range r.arbFCFS.Grant(reqs, slot) {
 		p := reqs[gi].Port
 		cell := r.fifoQ[p][0]
@@ -264,10 +269,8 @@ func (r *Router) admitFIFO(slot uint64) {
 
 // admitVOQ matches VOQ occupancy with iSLIP and offers matched heads.
 func (r *Router) admitVOQ(slot uint64) {
-	n := r.Ports()
-	req := make([][]bool, n)
+	req := r.voqReq
 	for i := range req {
-		req[i] = make([]bool, n)
 		for j := range req[i] {
 			req[i][j] = len(r.voq[i][j]) > 0
 		}

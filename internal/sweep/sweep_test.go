@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"fabricpower/internal/core"
+)
+
+// TestMapPreservesOrder: results land at their item index for any worker
+// count, including oversubscription.
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 7, 64} {
+		got, err := Map(workers, items, func(i, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	got, err := Map(4, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+	if _, err := Map(4, []int{1}, (func(i, item int) (int, error))(nil)); err == nil {
+		t.Fatal("nil fn should fail")
+	}
+}
+
+func TestMapErrorCarriesIndex(t *testing.T) {
+	boom := errors.New("boom")
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i, item int) (int, error) {
+			if item == 5 {
+				return 0, boom
+			}
+			return item, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error chain lost: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "point") {
+			t.Fatalf("workers=%d: error should name the point: %v", workers, err)
+		}
+	}
+}
+
+// TestPointSeedProperties: deterministic, base-sensitive, and
+// collision-free over the sweep grids the experiments use (the additive
+// scheme it replaces collided for nearby loads).
+func TestPointSeedProperties(t *testing.T) {
+	if PointSeed(1, 16, 0.3) != PointSeed(1, 16, 0.3) {
+		t.Fatal("seed must be deterministic")
+	}
+	if PointSeed(1, 16, 0.3) == PointSeed(2, 16, 0.3) {
+		t.Fatal("base seed must matter")
+	}
+	seen := make(map[int64]string)
+	for ports := 2; ports <= 1024; ports *= 2 {
+		for load := 0.01; load <= 1.0; load += 0.01 {
+			s := PointSeed(7, ports, load)
+			key := fmt.Sprintf("%d/%.2f", ports, load)
+			if prev, ok := seen[s]; ok {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
+
+func TestGridOrderAndFilter(t *testing.T) {
+	sizes := []int{2, 4}
+	archs := []core.Architecture{core.Crossbar, core.BatcherBanyan}
+	loads := []float64{0.1, 0.5}
+	pts := Grid(sizes, archs, loads, func(pt Point) bool {
+		return pt.Arch != core.BatcherBanyan || pt.Ports >= 4
+	})
+	want := []Point{
+		{core.Crossbar, 2, 0.1}, {core.Crossbar, 2, 0.5},
+		{core.Crossbar, 4, 0.1}, {core.Crossbar, 4, 0.5},
+		{core.BatcherBanyan, 4, 0.1}, {core.BatcherBanyan, 4, 0.5},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("%d points, want %d: %v", len(pts), len(want), pts)
+	}
+	for i, w := range want {
+		if pts[i] != w {
+			t.Fatalf("point %d = %v, want %v", i, pts[i], w)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package thompson
+
+import "sync"
+
+// Stage-grid tables: the fabric models charge wire energy per stage on
+// every slot, so they want the per-stage Thompson-grid lengths as a flat
+// table instead of re-deriving them (the sorter-stage length in
+// particular walks the merge phases on every call). The tables depend
+// only on the network dimension, so they are memoized process-wide and
+// shared across concurrently constructed fabric instances.
+//
+// Returned slices are shared and must be treated as read-only.
+var stageGridCache struct {
+	mu     sync.Mutex
+	banyan map[int][]int
+	sorter map[int][]int
+}
+
+// BanyanStageGridTable returns [StageGrids(0), …, StageGrids(dim−1)] for
+// an N=2^dim Banyan, computed once per dimension per process.
+func BanyanStageGridTable(dim int) []int {
+	stageGridCache.mu.Lock()
+	defer stageGridCache.mu.Unlock()
+	if t, ok := stageGridCache.banyan[dim]; ok {
+		return t
+	}
+	w := BanyanWires{Dimension: dim}
+	t := make([]int, dim)
+	for s := range t {
+		t[s] = w.StageGrids(s)
+	}
+	if stageGridCache.banyan == nil {
+		stageGridCache.banyan = make(map[int][]int)
+	}
+	stageGridCache.banyan[dim] = t
+	return t
+}
+
+// SorterStageGridTable returns [SorterStageGrids(0), …] over all
+// ½·dim·(dim+1) global sorter stages of an N=2^dim Batcher network,
+// computed once per dimension per process.
+func SorterStageGridTable(dim int) []int {
+	stageGridCache.mu.Lock()
+	defer stageGridCache.mu.Unlock()
+	if t, ok := stageGridCache.sorter[dim]; ok {
+		return t
+	}
+	w := BatcherBanyanWires{Dimension: dim}
+	t := make([]int, w.SorterStages())
+	for s := range t {
+		t[s] = w.SorterStageGrids(s)
+	}
+	if stageGridCache.sorter == nil {
+		stageGridCache.sorter = make(map[int][]int)
+	}
+	stageGridCache.sorter[dim] = t
+	return t
+}

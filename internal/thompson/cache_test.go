@@ -1,0 +1,61 @@
+package thompson
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStageGridTablesMatchClosedForms: the memoized tables are exactly
+// the per-stage closed forms, and repeated lookups share one slice.
+func TestStageGridTablesMatchClosedForms(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		bw := BanyanWires{Dimension: dim}
+		bt := BanyanStageGridTable(dim)
+		if len(bt) != dim {
+			t.Fatalf("dim %d: banyan table has %d stages", dim, len(bt))
+		}
+		for s, g := range bt {
+			if g != bw.StageGrids(s) {
+				t.Fatalf("dim %d stage %d: %d, want %d", dim, s, g, bw.StageGrids(s))
+			}
+		}
+		if dim < 2 {
+			continue
+		}
+		sw := BatcherBanyanWires{Dimension: dim}
+		st := SorterStageGridTable(dim)
+		if len(st) != sw.SorterStages() {
+			t.Fatalf("dim %d: sorter table has %d stages, want %d", dim, len(st), sw.SorterStages())
+		}
+		for s, g := range st {
+			if g != sw.SorterStageGrids(s) {
+				t.Fatalf("dim %d sorter stage %d: %d, want %d", dim, s, g, sw.SorterStageGrids(s))
+			}
+		}
+	}
+	a := BanyanStageGridTable(5)
+	b := BanyanStageGridTable(5)
+	if &a[0] != &b[0] {
+		t.Fatal("repeated lookups must share the memoized table")
+	}
+}
+
+// TestStageGridTablesConcurrent exercises the memo under -race: the
+// tables are fetched by every fabric constructed by parallel sweep
+// workers.
+func TestStageGridTablesConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dim := 2 + i%4
+			bt := BanyanStageGridTable(dim)
+			st := SorterStageGridTable(dim)
+			if len(bt) != dim || len(st) != dim*(dim+1)/2 {
+				t.Errorf("dim %d: table sizes %d/%d", dim, len(bt), len(st))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
