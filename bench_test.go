@@ -27,11 +27,13 @@ import (
 
 	"fabricpower/internal/circuits"
 	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
 	"fabricpower/internal/energy"
 	"fabricpower/internal/exp"
 	"fabricpower/internal/fabric"
 	"fabricpower/internal/gates"
 	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
 	"fabricpower/internal/tech"
 )
 
@@ -231,6 +233,66 @@ func BenchmarkBanyanStep(b *testing.B) { benchFabric(b, core.Banyan, 32) }
 // BenchmarkBatcherBanyanStep measures one 32×32 Batcher-Banyan slot
 // (bitonic sort + routing waves).
 func BenchmarkBatcherBanyanStep(b *testing.B) { benchFabric(b, core.BatcherBanyan, 32) }
+
+// BenchmarkDPMManagedStep measures one power-managed router slot on a
+// 16×16 Banyan: composite policy, manager observation/accounting and
+// gated admission on top of the fabric step. Reports allocs — the
+// managed loop must stay at 0 allocs/op like the bare fabrics
+// (TestDPMSlotAllocationFree enforces the same invariant).
+func BenchmarkDPMManagedStep(b *testing.B) {
+	const ports = 16
+	model := core.PaperModel()
+	model.Static = core.DefaultStaticPower()
+	pol, err := dpm.NewPolicy("composite")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := dpm.New(dpm.Config{Arch: core.Banyan, Ports: ports, Model: model, CellBits: 1024, Policy: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := router.New(router.Config{
+		Arch: core.Banyan,
+		Fabric: fabric.Config{
+			Ports: ports,
+			Cell:  packet.Config{CellBits: 1024, BusWidth: 32},
+			Model: model,
+		},
+		Gate: mgr,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Deep backlog on half the ports, injected before timing, so the
+	// measured loop admits real traffic without Inject's queue growth.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < (b.N+400)*ports/2; i++ {
+		c := &packet.Cell{
+			ID:      uint64(i + 1),
+			Src:     (i % (ports / 2)) * 2,
+			Dest:    rng.Intn(ports),
+			Payload: packet.RandomPayload(rng, 32),
+		}
+		if !r.Inject(c, 0) {
+			b.Fatal("inject failed")
+		}
+	}
+	slot := uint64(0)
+	step := func() {
+		mgr.PreSlot(slot, r)
+		delivered := r.Step(slot)
+		mgr.PostSlot(slot, delivered, r.Fabric().Energy())
+		slot++
+	}
+	for i := 0; i < 300; i++ {
+		step()
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
 
 // BenchmarkGateSimBanyanSwitch measures the gate-level simulator on the
 // 2×2 Banyan switch netlist (one clock cycle per iteration).

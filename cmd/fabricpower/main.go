@@ -12,6 +12,7 @@
 //	fabricpower saturate [-ports 16] [-workers N]
 //	fabricpower ablate [-study buffer|fcwire|queue]
 //	fabricpower simulate -arch banyan -ports 16 -load 0.3
+//	fabricpower dpm [-policies alwayson,idlegate,...] [-archs banyan] [-loads 0.1,0.3] [-workers N]
 //
 // Sweep commands fan their operating points across -workers goroutines
 // (default: all cores); results are bit-identical for any worker count.
@@ -55,6 +56,8 @@ func main() {
 		err = runAblate(args)
 	case "simulate":
 		err = runSimulate(args)
+	case "dpm":
+		err = runDPM(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -81,6 +84,8 @@ commands:
   saturate    input-buffered throughput ceiling
   ablate      ablation studies (-study buffer|fcwire|queue)
   simulate    one operating point with full breakdown
+  dpm         power-management study: policy × architecture × load grid
+              with static power attached (gating, sleep, DVFS savings)
 
 sweep commands accept -workers N (default 0 = all cores); results are
 bit-identical for any worker count`)
@@ -104,6 +109,52 @@ func parseSizes(s string) ([]int, error) {
 
 func simParams(slots uint64, seed int64, workers int) exp.SimParams {
 	return exp.SimParams{MeasureSlots: slots, Seed: seed, Workers: workers}
+}
+
+func parseLoads(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseArchs(s string) ([]core.Architecture, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]core.Architecture, 0, len(parts))
+	for _, p := range parts {
+		a, err := core.ParseArchitecture(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func parseNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func runTable1(args []string) error {
@@ -265,6 +316,47 @@ func runAblate(args []string) error {
 		return a.Render(os.Stdout)
 	}
 	return fmt.Errorf("unknown study %q", *study)
+}
+
+func runDPM(args []string) error {
+	fs := flag.NewFlagSet("dpm", flag.ExitOnError)
+	policiesFlag := fs.String("policies", "", "comma-separated policies (default: alwayson,buffersleep,composite,idlegate,loaddvfs)")
+	archsFlag := fs.String("archs", "", "comma-separated architectures (default: all four)")
+	ports := fs.Int("ports", 16, "fabric size")
+	loadsFlag := fs.String("loads", "", "comma-separated offered loads (default 0.1,0.2,0.3,0.4,0.5)")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	csvPath := fs.String("csv", "", "also write CSV to this file")
+	perWord := fs.Bool("perword", false, "per-word buffer accounting")
+	noStatic := fs.Bool("nostatic", false, "zero static power: no idle/transition energy on the ledger (policies still gate admission, and loaddvfs still V²-scales dynamic energy)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	archs, err := parseArchs(*archsFlag)
+	if err != nil {
+		return err
+	}
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	model := core.PaperModel()
+	if *perWord {
+		model = core.PerWordBufferModel()
+	}
+	if !*noStatic {
+		model.Static = core.DefaultStaticPower()
+	}
+	study, err := exp.RunDPMStudy(model, parseNames(*policiesFlag), archs, *ports, loads,
+		simParams(*slots, *seed, *workers))
+	if err != nil {
+		return err
+	}
+	if err := study.Render(os.Stdout); err != nil {
+		return err
+	}
+	return withCSV(*csvPath, study.CSV)
 }
 
 func runSimulate(args []string) error {

@@ -37,3 +37,48 @@ func TestSimParamsHelper(t *testing.T) {
 		t.Fatalf("params %+v", p)
 	}
 }
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("0.1, 0.25,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.25, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if got, err := parseLoads(""); err != nil || got != nil {
+		t.Fatalf("empty should give nil, got %v/%v", got, err)
+	}
+	if _, err := parseLoads("0.1,none"); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestParseArchs(t *testing.T) {
+	got, err := parseArchs("banyan, crossbar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].String() != "banyan" || got[1].String() != "crossbar" {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseArchs("toroidal"); err == nil {
+		t.Fatal("unknown architecture should fail")
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	got := parseNames(" alwayson ,, idlegate ")
+	if len(got) != 2 || got[0] != "alwayson" || got[1] != "idlegate" {
+		t.Fatalf("got %v", got)
+	}
+	if parseNames("") != nil {
+		t.Fatal("empty should give nil")
+	}
+}

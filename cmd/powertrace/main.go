@@ -5,81 +5,170 @@
 // Usage:
 //
 //	powertrace -arch banyan -ports 16 -from 0.05 -to 0.55 -step 0.05
+//	powertrace -arch banyan -ports 16 -dpm idlegate -trace 40 -from 0.1 -to 0.1
+//
+// With -dpm, a dynamic power-management policy (internal/dpm) drives the
+// run: the table gains static/saved power columns and -trace N prints the
+// manager's per-slot state for the first N measured slots of each point.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
 	"fabricpower/internal/exp"
 	"fabricpower/internal/plot"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/tech"
 )
 
 func main() {
-	archName := flag.String("arch", "banyan", "crossbar | fullyconnected | banyan | batcherbanyan")
-	ports := flag.Int("ports", 16, "fabric size (power of two)")
-	from := flag.Float64("from", 0.05, "sweep start load")
-	to := flag.Float64("to", 0.55, "sweep end load")
-	step := flag.Float64("step", 0.05, "sweep step")
-	slots := flag.Uint64("slots", 3000, "measured slots per point")
-	seed := flag.Int64("seed", 1, "traffic seed")
-	perWord := flag.Bool("perword", false, "per-word buffer accounting")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepLoads enumerates the load points by index — like internal/sweep's
+// grids, never by accumulating the step — so float drift cannot skip the
+// final point of sweeps like 0.05..0.55 step 0.05.
+func sweepLoads(from, to, step float64) []float64 {
+	n := int((to-from)/step+1e-9) + 1
+	loads := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		loads = append(loads, from+float64(i)*step)
+	}
+	return loads
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("powertrace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	archName := fs.String("arch", "banyan", "crossbar | fullyconnected | banyan | batcherbanyan")
+	ports := fs.Int("ports", 16, "fabric size (power of two)")
+	from := fs.Float64("from", 0.05, "sweep start load")
+	to := fs.Float64("to", 0.55, "sweep end load")
+	step := fs.Float64("step", 0.05, "sweep step")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	perWord := fs.Bool("perword", false, "per-word buffer accounting")
+	policy := fs.String("dpm", "", "power-management policy (alwayson | idlegate | buffersleep | loaddvfs | composite); empty = unmanaged")
+	traceSlots := fs.Int("trace", 0, "with -dpm: print the manager's per-slot state for the first N measured slots of each point")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	arch, err := core.ParseArchitecture(*archName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(2)
+		return err
 	}
 	model := core.PaperModel()
 	if *perWord {
 		model = core.PerWordBufferModel()
 	}
 	if *step <= 0 || *from <= 0 || *to < *from {
-		fmt.Fprintln(os.Stderr, "error: bad sweep bounds")
-		os.Exit(2)
+		return fmt.Errorf("bad sweep bounds: from %g to %g step %g", *from, *to, *step)
+	}
+	if *policy != "" {
+		if _, err := dpm.NewPolicy(*policy); err != nil {
+			return err
+		}
+		model.Static = core.DefaultStaticPower()
 	}
 
-	t := plot.Table{
-		Title: fmt.Sprintf("%s %d×%d load sweep", arch, *ports, *ports),
-		Headers: []string{"offered", "throughput", "avg_lat", "switch_mW", "buffer_mW",
-			"wire_mW", "total_mW", "fJ/bit", "buffer_events"},
+	title := fmt.Sprintf("%s %d×%d load sweep", arch, *ports, *ports)
+	headers := []string{"offered", "throughput", "avg_lat", "switch_mW", "buffer_mW",
+		"wire_mW", "total_mW", "fJ/bit", "buffer_events"}
+	if *policy != "" {
+		title += fmt.Sprintf(" — %s policy", *policy)
+		headers = append(headers, "static_mW", "saved_mW", "gated%", "stalls")
 	}
+	t := plot.Table{Title: title, Headers: headers}
 	analytic, err := model.BitEnergy(arch, *ports)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return err
 	}
-	for load := *from; load <= *to+1e-9; load += *step {
-		res, err := exp.RunPoint(model, arch, *ports, load,
-			exp.SimParams{MeasureSlots: *slots, Seed: *seed})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+
+	var traces []string
+	params := exp.SimParams{MeasureSlots: *slots, Seed: *seed}
+	slotNS := model.Tech.CellTimeNS(params.WithDefaults().CellBits)
+	for _, load := range sweepLoads(*from, *to, *step) {
+		var r sim.Result
+		if *policy == "" {
+			r, err = exp.RunPoint(model, arch, *ports, load, params)
+			if err != nil {
+				return err
+			}
+		} else {
+			var trace func(dpm.TraceSample)
+			if *traceSlots > 0 {
+				collected := 0
+				warm := params.WithDefaults().WarmupSlots
+				trace = func(s dpm.TraceSample) {
+					if s.Slot < warm || collected >= *traceSlots {
+						return
+					}
+					collected++
+					traces = append(traces, fmt.Sprintf(
+						"load %3.0f%% slot %6d  gated %2d  waking %2d  drowsy %-5v  dvfs L%d  stalled %-5v  static %.4f mW  load~%.3f",
+						load*100, s.Slot, s.GatedPorts, s.WakingPorts, s.BufferDrowsy,
+						s.DVFSLevel, s.Stalled, s.StaticMW, s.Load))
+				}
+			}
+			r, err = exp.RunDPMPoint(model, *policy, arch, *ports, load, params, trace)
+			if err != nil {
+				return err
+			}
 		}
-		bits := res.Throughput * float64(*ports) * float64(res.Slots) * 1024
+		bits := r.Throughput * float64(*ports) * float64(r.Slots) * 1024
 		perBit := 0.0
 		if bits > 0 {
-			perBit = res.Energy.TotalFJ() / bits
+			perBit = r.Energy.TotalFJ() / bits
 		}
-		t.AddRow(
+		row := []string{
 			fmt.Sprintf("%.0f%%", load*100),
-			fmt.Sprintf("%.2f%%", res.Throughput*100),
-			fmt.Sprintf("%.2f", res.AvgLatencySlots),
-			fmt.Sprintf("%.4f", res.Power.SwitchMW),
-			fmt.Sprintf("%.4f", res.Power.BufferMW),
-			fmt.Sprintf("%.4f", res.Power.WireMW),
-			fmt.Sprintf("%.4f", res.Power.TotalMW()),
+			fmt.Sprintf("%.2f%%", r.Throughput*100),
+			fmt.Sprintf("%.2f", r.AvgLatencySlots),
+			fmt.Sprintf("%.4f", r.Power.SwitchMW),
+			fmt.Sprintf("%.4f", r.Power.BufferMW),
+			fmt.Sprintf("%.4f", r.Power.WireMW),
+			fmt.Sprintf("%.4f", r.Power.TotalMW()),
 			fmt.Sprintf("%.0f", perBit),
-			fmt.Sprintf("%d", res.BufferEvents),
-		)
+			fmt.Sprintf("%d", r.BufferEvents),
+		}
+		if *policy != "" {
+			saved, gatedPct, stalls := 0.0, 0.0, uint64(0)
+			if d := r.DPM; d != nil && d.Slots > 0 {
+				saved = tech.PowerMW(d.SavedFJ(), float64(d.Slots)*slotNS)
+				gatedPct = 100 * float64(d.GatedPortSlots) / float64(d.Slots*uint64(*ports))
+				stalls = d.StalledSlots
+			}
+			row = append(row,
+				fmt.Sprintf("%.4f", r.Power.StaticMW),
+				fmt.Sprintf("%.4f", saved),
+				fmt.Sprintf("%.1f%%", gatedPct),
+				fmt.Sprintf("%d", stalls))
+		}
+		t.AddRow(row...)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	if err := t.Render(out); err != nil {
+		return err
 	}
-	fmt.Printf("\nanalytic worst-case bit energy (Eqs. 3-6): switch %.0f fJ, wire %.0f fJ, total %.0f fJ\n",
+	fmt.Fprintf(out, "\nanalytic worst-case bit energy (Eqs. 3-6): switch %.0f fJ, wire %.0f fJ, total %.0f fJ\n",
 		analytic.SwitchFJ, analytic.WireFJ, analytic.TotalFJ())
+	if len(traces) > 0 {
+		fmt.Fprintf(out, "\nper-slot policy trace (first %d measured slots per point):\n", *traceSlots)
+		for _, line := range traces {
+			fmt.Fprintln(out, line)
+		}
+	}
+	return nil
 }

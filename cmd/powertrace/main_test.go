@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSweepLoadsNoDrift pins the satellite fix: the 0.05..0.55 sweep at
+// step 0.05 must enumerate all 11 points including the final one, which
+// the old accumulate-the-step loop could skip to float drift.
+func TestSweepLoadsNoDrift(t *testing.T) {
+	loads := sweepLoads(0.05, 0.55, 0.05)
+	if len(loads) != 11 {
+		t.Fatalf("want 11 points, got %d: %v", len(loads), loads)
+	}
+	if math.Abs(loads[10]-0.55) > 1e-12 {
+		t.Fatalf("final point drifted: %v", loads[10])
+	}
+	for i, l := range loads {
+		if want := 0.05 + 0.05*float64(i); math.Abs(l-want) > 1e-12 {
+			t.Fatalf("point %d: got %v want %v", i, l, want)
+		}
+	}
+	if got := sweepLoads(0.3, 0.3, 0.1); len(got) != 1 || got[0] != 0.3 {
+		t.Fatalf("single-point sweep: %v", got)
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h should print usage and succeed, got %v", err)
+	}
+	if !strings.Contains(buf.String(), "-arch") {
+		t.Fatalf("usage missing from -h output:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-arch", "toroidal"}, &buf); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+	if err := run([]string{"-from", "0.4", "-to", "0.2"}, &buf); err == nil {
+		t.Error("inverted sweep bounds should fail")
+	}
+	if err := run([]string{"-step", "0"}, &buf); err == nil {
+		t.Error("zero step should fail")
+	}
+	if err := run([]string{"-dpm", "turboboost"}, &buf); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+// TestRunTinySweep drives one end-to-end sweep and checks every load
+// point (including the last) produced a table row.
+func TestRunTinySweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-arch", "banyan", "-ports", "8",
+		"-from", "0.1", "-to", "0.3", "-step", "0.1", "-slots", "120"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"banyan 8×8 load sweep", "10%", "20%", "30%", "analytic worst-case"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDPMTrace exercises the managed path: policy columns in the
+// table and the per-slot trace tail.
+func TestRunDPMTrace(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-arch", "banyan", "-ports", "8",
+		"-from", "0.1", "-to", "0.1", "-step", "0.1", "-slots", "120",
+		"-dpm", "idlegate", "-trace", "4"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"idlegate policy", "static_mW", "saved_mW",
+		"per-slot policy trace", "dvfs L0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "load  10% slot"); got != 4 {
+		t.Fatalf("want 4 trace lines, got %d:\n%s", got, out)
+	}
+}

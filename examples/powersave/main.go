@@ -1,0 +1,68 @@
+// Powersave: what power management buys a switch fabric at low load.
+//
+// The DAC 2002 model charges only dynamic bit energy, so an idle fabric
+// is free — which hides exactly the question the power-saving
+// literature asks. This walkthrough attaches the static-power extension
+// (leakage + clock trees, core.DefaultStaticPower) to a 16×16 Banyan
+// and runs the dynamic power-management policies of internal/dpm over
+// a low-load sweep:
+//
+//   - alwayson    — the unmanaged baseline, full idle power forever
+//   - idlegate    — timeout-based clock gating of idle port domains
+//   - buffersleep — drowsy SRAM banks when the node buffers drain
+//   - loaddvfs    — load-tracking frequency/voltage scaling
+//   - composite   — all three stacked
+//
+// Run with:
+//
+//	go run ./examples/powersave [-slots 3000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/exp"
+)
+
+func main() {
+	slots := flag.Uint64("slots", 3000, "measured slots per operating point")
+	flag.Parse()
+
+	model := core.PaperModel()
+	model.Static = core.DefaultStaticPower()
+
+	fmt.Println("16×16 Banyan with static power attached (leakage + clock trees)")
+	fmt.Println()
+
+	study, err := exp.RunDPMStudy(model, nil, []core.Architecture{core.Banyan},
+		16, []float64{0.10, 0.30, 0.50}, exp.SimParams{MeasureSlots: *slots, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	base, _ := study.Point("alwayson", core.Banyan, 0.10)
+	gated, _ := study.Point("idlegate", core.Banyan, 0.10)
+	comp, _ := study.Point("composite", core.Banyan, 0.10)
+	fmt.Println()
+	fmt.Printf("At 10%% load the unmanaged fabric burns %.2f mW, %.0f%% of it static.\n",
+		base.Result.Power.TotalMW(),
+		100*base.Result.Power.StaticMW/base.Result.Power.TotalMW())
+	fmt.Printf("Idle gating trims that to %.2f mW for +%.2f slots of wakeup latency;\n",
+		gated.Result.Power.TotalMW(),
+		gated.Result.AvgLatencySlots-base.Result.AvgLatencySlots)
+	fmt.Printf("the composite policy reaches %.2f mW (%.0f%% saved) at +%.2f slots.\n",
+		comp.Result.Power.TotalMW(),
+		100*(1-comp.Result.Power.TotalMW()/base.Result.Power.TotalMW()),
+		comp.Result.AvgLatencySlots-base.Result.AvgLatencySlots)
+	fmt.Println("\nSwitching off idle elements dominates the savings — the Giroire et")
+	fmt.Println("al. observation — while DVFS adds voltage leverage but can backfire")
+	fmt.Println("on blocking fabrics: throttled admission clusters cells and raises")
+	fmt.Println("Banyan contention (watch dyn_mW at 30% load under loaddvfs).")
+}

@@ -16,6 +16,12 @@
 // The package provides the energy-accounting types shared by the dynamic
 // simulator (internal/fabric, internal/sim) and the closed-form worst-case
 // bit energies of Eqs. 3–6 for the four analyzed architectures.
+//
+// Beyond the paper, the model carries a static/leakage extension
+// (StaticPower, Inventory): per-component idle power, power-state
+// transition energy and wakeup latency, consumed by the dynamic
+// power-management subsystem in internal/dpm. PaperModel leaves it at
+// zero, so all paper reproductions keep their dynamic-only accounting.
 package core
 
 import (
@@ -151,6 +157,13 @@ type Model struct {
 	// ablation in internal/exp quantifies the difference).
 	BufferAccessesPerEvent int
 
+	// Static is the always-on power model (leakage and clock trees) the
+	// power-management subsystem (internal/dpm) charges per slot. The
+	// zero value — PaperModel's default — means no static power: the
+	// paper's dynamic-only accounting, under which every reproduction
+	// result is unchanged. See StaticPower and DefaultStaticPower.
+	Static StaticPower
+
 	// BufferAccessGranularityBits resolves an ambiguity in the paper's
 	// buffer accounting. §3.2 says E_access "is actually the average
 	// energy consumed for one bit", which is the default (1). But with
@@ -212,7 +225,7 @@ func (m Model) Validate() error {
 	if m.BufferAccessGranularityBits < 1 || m.BufferAccessGranularityBits > 64 {
 		return fmt.Errorf("core: buffer access granularity must be 1..64 bits, got %d", m.BufferAccessGranularityBits)
 	}
-	return nil
+	return m.Static.Validate()
 }
 
 // BanyanBufferBitEnergyFJ returns E_B_bit for one buffering event in an

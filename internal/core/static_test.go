@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+func TestStaticPowerZeroValid(t *testing.T) {
+	var s StaticPower
+	if !s.IsZero() {
+		t.Fatal("zero value should report IsZero")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("zero static power must validate (paper accounting): %v", err)
+	}
+	if PaperModel().Static != (StaticPower{}) {
+		t.Fatal("PaperModel must carry zero static power so paper results are unchanged")
+	}
+}
+
+func TestDefaultStaticPowerValid(t *testing.T) {
+	s := DefaultStaticPower()
+	if s.IsZero() {
+		t.Fatal("default static power should be non-zero")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticPowerValidateRejects(t *testing.T) {
+	cases := []StaticPower{
+		{SwitchIdleMW: -1},
+		{GatedFraction: 1.5},
+		{SleepFraction: -0.1},
+		{WakeupSlots: -2},
+		{TransitionFJ: -5},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%+v) should fail validation", i, s)
+		}
+	}
+}
+
+func TestModelValidateChecksStatic(t *testing.T) {
+	m := PaperModel()
+	m.Static.GatedFraction = 2
+	if err := m.Validate(); err == nil {
+		t.Fatal("model with invalid static power should fail validation")
+	}
+}
+
+func TestInventoryCounts(t *testing.T) {
+	m := PaperModel()
+	cases := []struct {
+		arch Architecture
+		n    int
+		want Inventory
+	}{
+		{Crossbar, 8, Inventory{SwitchNodes: 64, WireDrivers: 16}},
+		{FullyConnected, 8, Inventory{SwitchNodes: 8, WireDrivers: 8}},
+		{Banyan, 8, Inventory{SwitchNodes: 12, WireDrivers: 24, BufferBanks: 12, BufferBitsPerBank: 4096}},
+		// 16 ports: dim 4, sorter stages 4·5/2 = 10, total stages 14.
+		{BatcherBanyan, 16, Inventory{SwitchNodes: 14 * 8, WireDrivers: 14 * 16}},
+	}
+	for _, c := range cases {
+		got, err := m.Inventory(c.arch, c.n)
+		if err != nil {
+			t.Fatalf("%v %d: %v", c.arch, c.n, err)
+		}
+		if got != c.want {
+			t.Errorf("%v %d: got %+v want %+v", c.arch, c.n, got, c.want)
+		}
+		if got.Components() != got.SwitchNodes+got.WireDrivers+got.BufferBanks {
+			t.Errorf("%v: Components() mismatch", c.arch)
+		}
+	}
+}
+
+func TestInventoryRejectsBadSizes(t *testing.T) {
+	m := PaperModel()
+	if _, err := m.Inventory(Banyan, 6); err == nil {
+		t.Error("non-power-of-two Banyan should fail")
+	}
+	if _, err := m.Inventory(BatcherBanyan, 2); err == nil {
+		t.Error("2-port Batcher-Banyan should fail")
+	}
+	if _, err := m.Inventory(Architecture(9), 8); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+}

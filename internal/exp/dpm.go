@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/plot"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
+	"fabricpower/internal/tech"
+	"fabricpower/internal/traffic"
+)
+
+// DPMPoint is one operating point of the power-management study: a
+// policy driving one architecture at one offered load.
+type DPMPoint struct {
+	Policy string
+	Arch   core.Architecture
+	Ports  int
+	Load   float64
+	Result sim.Result
+}
+
+// DPMStudy is the policy × architecture × load grid with the paper-style
+// measurement at every point, plus the per-point manager ledgers.
+type DPMStudy struct {
+	Ports    int
+	Policies []string
+	Archs    []core.Architecture
+	Loads    []float64
+	// SlotNS is the cell-slot duration, for converting ledger energies
+	// to power.
+	SlotNS float64
+	Points []DPMPoint
+}
+
+// RunDPMPoint simulates one operating point under a power-management
+// policy (by dpm.NewPolicy name): the manager gates the router's
+// admission, observes every slot and accounts static, transition and
+// DVFS-adjusted energy. The traffic seed matches RunPoint's for the
+// same (ports, load), so every policy and architecture at one point
+// sees the identical cell stream — policies are compared under the
+// same workload, exactly as the paper compares architectures. trace,
+// when non-nil, receives one sample per simulated slot.
+func RunDPMPoint(model core.Model, policy string, arch core.Architecture, ports int, load float64, p SimParams, trace func(dpm.TraceSample)) (sim.Result, error) {
+	p = p.WithDefaults()
+	pol, err := dpm.NewPolicy(policy)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	mgr, err := dpm.New(dpm.Config{
+		Arch:     arch,
+		Ports:    ports,
+		Model:    model,
+		CellBits: p.CellBits,
+		Policy:   pol,
+	})
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: %s %v %d ports: %w", policy, arch, ports, err)
+	}
+	mgr.OnSample = trace
+	r, err := router.New(router.Config{
+		Arch: arch,
+		Fabric: fabric.Config{
+			Ports: ports,
+			Cell:  p.cellConfig(),
+			Model: model,
+		},
+		Queue: p.Queue,
+		Gate:  mgr,
+	})
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("exp: %v %d ports: %w", arch, ports, err)
+	}
+	gen, err := traffic.NewInjector(ports, load, p.cellConfig(), nil, sweep.PointSeed(p.Seed, ports, load))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(r, gen, model.Tech, p.CellBits, sim.Options{
+		WarmupSlots:  p.WarmupSlots,
+		MeasureSlots: p.MeasureSlots,
+		DPM:          mgr,
+	})
+}
+
+// dpmItem is one sweep-engine work item of the study grid.
+type dpmItem struct {
+	policy string
+	pt     sweep.Point
+}
+
+// RunDPMStudy sweeps the policy × architecture × load grid at one
+// fabric size on the sweep engine (p.Workers goroutines, bit-identical
+// results for any worker count). Defaults: every built-in policy, all
+// four architectures, 16 ports, the paper's 10–50% loads. The model's
+// Static field supplies the idle-power parameters; with a zero static
+// model the study degenerates to the paper's dynamic-only numbers.
+func RunDPMStudy(model core.Model, policies []string, archs []core.Architecture, ports int, loads []float64, p SimParams) (*DPMStudy, error) {
+	if len(policies) == 0 {
+		policies = dpm.PolicyNames()
+	}
+	if len(archs) == 0 {
+		archs = core.Architectures()
+	}
+	if ports == 0 {
+		ports = 16
+	}
+	if len(loads) == 0 {
+		loads = DefaultLoads()
+	}
+	items := make([]dpmItem, 0, len(policies)*len(archs)*len(loads))
+	for _, pol := range policies {
+		for _, arch := range archs {
+			for _, load := range loads {
+				pt := sweep.Point{Arch: arch, Ports: ports, Load: load}
+				if batcherFeasible(pt) {
+					items = append(items, dpmItem{policy: pol, pt: pt})
+				}
+			}
+		}
+	}
+	results, err := sweep.Map(p.Workers, items, func(_ int, it dpmItem) (sim.Result, error) {
+		return RunDPMPoint(model, it.policy, it.pt.Arch, it.pt.Ports, it.pt.Load, p, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &DPMStudy{Ports: ports, Policies: policies, Archs: archs, Loads: loads,
+		SlotNS: model.Tech.CellTimeNS(p.WithDefaults().CellBits),
+		Points: make([]DPMPoint, len(items))}
+	for i, it := range items {
+		s.Points[i] = DPMPoint{Policy: it.policy, Arch: it.pt.Arch, Ports: ports,
+			Load: it.pt.Load, Result: results[i]}
+	}
+	return s, nil
+}
+
+// Point finds one operating point.
+func (s *DPMStudy) Point(policy string, arch core.Architecture, load float64) (DPMPoint, bool) {
+	for _, pt := range s.Points {
+		if pt.Policy == policy && pt.Arch == arch && pt.Load == load {
+			return pt, true
+		}
+	}
+	return DPMPoint{}, false
+}
+
+// SavedMW converts a point's net ledger saving (Report.SavedFJ) into
+// milliwatts over the measured window.
+func (s *DPMStudy) SavedMW(r sim.Result) float64 {
+	if r.DPM == nil || r.Slots == 0 || s.SlotNS <= 0 {
+		return 0
+	}
+	return tech.PowerMW(r.DPM.SavedFJ(), float64(r.Slots)*s.SlotNS)
+}
+
+// Render writes one table per architecture: each policy across the load
+// sweep with the dynamic/static/total split, the net saving against the
+// always-on ledger, and the latency cost relative to the alwayson
+// baseline at the same point (wakeup and DVFS stalls surface there).
+func (s *DPMStudy) Render(w io.Writer) error {
+	for _, arch := range s.Archs {
+		t := plot.Table{
+			Title: fmt.Sprintf("Power management — %s %d×%d", arch, s.Ports, s.Ports),
+			Headers: []string{"policy", "offered", "throughput", "dyn_mW", "static_mW",
+				"total_mW", "saved_mW", "avg_lat", "lat_penalty", "gated%", "stall%"},
+		}
+		rows := 0
+		for _, pol := range s.Policies {
+			for _, load := range s.Loads {
+				pt, ok := s.Point(pol, arch, load)
+				if !ok {
+					continue
+				}
+				rows++
+				r := pt.Result
+				dyn := r.Power.SwitchMW + r.Power.BufferMW + r.Power.WireMW
+				penalty := "-"
+				if base, ok := s.Point("alwayson", arch, load); ok && pol != "alwayson" {
+					penalty = fmt.Sprintf("%+.2f", r.AvgLatencySlots-base.Result.AvgLatencySlots)
+				}
+				gatedPct, stallPct := 0.0, 0.0
+				if d := r.DPM; d != nil && d.Slots > 0 {
+					gatedPct = float64(d.GatedPortSlots) / float64(d.Slots*uint64(s.Ports))
+					stallPct = float64(d.StalledSlots) / float64(d.Slots)
+				}
+				saved := s.SavedMW(r)
+				t.AddRow(pol, fmtPct(load), fmtPct(r.Throughput),
+					fmtMW(dyn), fmtMW(r.Power.StaticMW), fmtMW(r.Power.TotalMW()),
+					fmtMW(saved), fmt.Sprintf("%.2f", r.AvgLatencySlots), penalty,
+					fmtPct(gatedPct), fmtPct(stallPct))
+			}
+		}
+		if rows == 0 {
+			continue
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "saved_mW is net against the always-on static ledger (forgone idle power minus transition cost, plus DVFS dynamic savings); lat_penalty is slots of extra average latency vs the alwayson baseline under identical traffic.")
+	return err
+}
+
+// CSV writes the study as one flat table.
+func (s *DPMStudy) CSV(w io.Writer) error {
+	headers := []string{"policy", "arch", "ports", "offered", "throughput", "dyn_mw",
+		"static_mw", "total_mw", "saved_mw", "avg_latency_slots", "gated_port_slots",
+		"drowsy_slots", "stalled_slots", "transitions", "wake_events"}
+	var rows [][]string
+	for _, pt := range s.Points {
+		r := pt.Result
+		var d dpm.Report
+		if r.DPM != nil {
+			d = *r.DPM
+		}
+		rows = append(rows, []string{
+			pt.Policy,
+			pt.Arch.String(),
+			fmt.Sprintf("%d", pt.Ports),
+			fmt.Sprintf("%.3f", pt.Load),
+			fmt.Sprintf("%.5f", r.Throughput),
+			fmt.Sprintf("%.5f", r.Power.SwitchMW+r.Power.BufferMW+r.Power.WireMW),
+			fmt.Sprintf("%.5f", r.Power.StaticMW),
+			fmt.Sprintf("%.5f", r.Power.TotalMW()),
+			fmt.Sprintf("%.5f", s.SavedMW(r)),
+			fmt.Sprintf("%.3f", r.AvgLatencySlots),
+			fmt.Sprintf("%d", d.GatedPortSlots),
+			fmt.Sprintf("%d", d.DrowsySlots),
+			fmt.Sprintf("%d", d.StalledSlots),
+			fmt.Sprintf("%d", d.Transitions),
+			fmt.Sprintf("%d", d.WakeEvents),
+		})
+	}
+	return plot.WriteCSV(w, headers, rows)
+}

@@ -16,6 +16,8 @@
 //	Obs. 1   — RunCrossover: Banyan's low-load advantage at 32×32
 //	§5.2/§6  — RunSaturation: input-buffered 58.6% ceiling
 //	Ablations — RunBufferAblation, RunFCWireAblation, RunQueueAblation
+//	Extension — RunDPMStudy: power-management policies × architectures ×
+//	loads with static power attached (internal/dpm)
 package exp
 
 import (

@@ -41,11 +41,12 @@ type banyan struct {
 	// delivered is reused across Step calls (see Fabric.Step).
 	delivered []*packet.Cell
 
-	bufferCap    int
-	energy       core.Breakdown
-	bufferEvents uint64
-	inFlight     int
-	ebFJ         float64 // buffer energy per bit
+	bufferCap     int
+	energy        core.Breakdown
+	bufferEvents  uint64
+	bufferedCells int
+	inFlight      int
+	ebFJ          float64 // buffer energy per bit
 }
 
 type bufEntry struct {
@@ -115,6 +116,12 @@ func (b *banyan) ResetEnergy()            { b.energy = core.Breakdown{} }
 // interconnect contention so far.
 func (b *banyan) BufferEvents() uint64 { return b.bufferEvents }
 
+// BufferedCells returns the number of cells currently parked in node
+// buffers — the occupancy signal the power-management policies key
+// drowsy-SRAM decisions on. Maintained incrementally so observing it
+// every slot stays off the hot path.
+func (b *banyan) BufferedCells() int { return b.bufferedCells }
+
 // shuffle is the perfect shuffle (rotate-left over dim bits).
 func (b *banyan) shuffle(l int) int {
 	n := b.cfg.Ports
@@ -172,6 +179,7 @@ func (b *banyan) Step(slot uint64) []*packet.Cell {
 				// Commit the move.
 				if fromBuffer {
 					b.buf[s][k].pop()
+					b.bufferedCells--
 				} else if b.latch[s][in0] == cell {
 					b.latch[s][in0] = nil
 				} else {
@@ -235,6 +243,7 @@ func (b *banyan) parkLosers(slot uint64, s, k int, cellBits float64) {
 		b.buf[s][k].push(bufEntry{cell: c, channel: b.routeBit(c, s)})
 		b.latch[s][line] = nil
 		b.bufferEvents++
+		b.bufferedCells++
 		b.energy.Accumulate(core.BufferComponent, b.ebFJ*cellBits)
 	}
 }

@@ -41,6 +41,18 @@ func (q QueueDiscipline) String() string {
 	return fmt.Sprintf("QueueDiscipline(%d)", int(q))
 }
 
+// PortGate is consulted before a port's queue head may request fabric
+// admission. A closed gate models a power-gated ingress path: the cell
+// stays queued (the wakeup latency becomes measured cell latency) until
+// the gate reopens. Implemented by the dynamic power manager
+// (internal/dpm); a nil gate leaves every port always admissible.
+type PortGate interface {
+	// PortOpen reports whether port may admit a cell into the fabric
+	// during slot. Called once per non-empty port per slot on the slot
+	// hot path — implementations must not allocate.
+	PortOpen(port int, slot uint64) bool
+}
+
 // Config assembles a router.
 type Config struct {
 	// Arch selects the switch fabric architecture.
@@ -54,6 +66,9 @@ type Config struct {
 	MaxQueueCells int
 	// ISLIPIterations configures the VOQ matcher (default 2).
 	ISLIPIterations int
+	// Gate, when non-nil, power-gates ingress admission per port (see
+	// PortGate). The paper's always-on router leaves it nil.
+	Gate PortGate
 }
 
 // Metrics aggregates what the egress units measure.
@@ -169,6 +184,37 @@ func (r *Router) ResetMetrics() {
 	r.metrics = Metrics{PerEgressCells: per}
 }
 
+// QueueLen returns the number of cells waiting at one ingress port (all
+// VOQs of the port under the VOQ discipline) — the per-port occupancy
+// signal the power-management policies observe every slot.
+func (r *Router) QueueLen(port int) int {
+	if port < 0 || port >= r.Ports() {
+		return 0
+	}
+	if r.cfg.Queue == FIFO {
+		return len(r.fifoQ[port])
+	}
+	total := 0
+	for _, q := range r.voq[port] {
+		total += len(q)
+	}
+	return total
+}
+
+// bufferOccupant is implemented by fabrics with internal buffers.
+type bufferOccupant interface {
+	BufferedCells() int
+}
+
+// BufferedCells returns the number of cells parked inside the fabric's
+// internal buffers (Banyan node SRAM; zero for bufferless fabrics).
+func (r *Router) BufferedCells() int {
+	if bo, ok := r.fab.(bufferOccupant); ok {
+		return bo.BufferedCells()
+	}
+	return 0
+}
+
 // QueuedCells returns the number of cells waiting in ingress queues.
 func (r *Router) QueuedCells() int {
 	total := 0
@@ -250,6 +296,9 @@ func (r *Router) admitFIFO(slot uint64) {
 		if len(q) == 0 {
 			continue
 		}
+		if r.cfg.Gate != nil && !r.cfg.Gate.PortOpen(p, slot) {
+			continue
+		}
 		reqs = append(reqs, arbiter.Request{
 			Port:    p,
 			Dest:    q[0].Dest,
@@ -271,8 +320,9 @@ func (r *Router) admitFIFO(slot uint64) {
 func (r *Router) admitVOQ(slot uint64) {
 	req := r.voqReq
 	for i := range req {
+		open := r.cfg.Gate == nil || r.cfg.Gate.PortOpen(i, slot)
 		for j := range req[i] {
-			req[i][j] = len(r.voq[i][j]) > 0
+			req[i][j] = open && len(r.voq[i][j]) > 0
 		}
 	}
 	match, err := r.arbSLIP.Match(req)

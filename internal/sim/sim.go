@@ -3,12 +3,18 @@
 // excludes a warmup phase, measures egress throughput and latency, and
 // converts the fabric's accumulated bit energies into power using the
 // cell time on the serial line (100BaseT in the paper's case study).
+//
+// A run may carry a dynamic power manager (Options.DPM, internal/dpm):
+// the kernel then interleaves the manager's observe/decide/account hooks
+// with the slot loop, static power joins the report (Power.StaticMW) and
+// the manager's ledger lands in Result.DPM.
 package sim
 
 import (
 	"fmt"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
 	"fabricpower/internal/packet"
 	"fabricpower/internal/router"
 	"fabricpower/internal/tech"
@@ -27,6 +33,14 @@ type Options struct {
 	WarmupSlots uint64
 	// MeasureSlots is the measured window length. Default 2000.
 	MeasureSlots uint64
+	// DPM, when non-nil, runs the dynamic power manager each slot:
+	// it observes the router before Step, accounts static/transition
+	// energy after, and its ledger lands in Result.DPM and
+	// Power.StaticMW. The same manager must also be installed as the
+	// router's admission gate (router.Config.Gate) so gated ports
+	// refuse cells — exp.RunDPMPoint wires both ends. Nil reproduces
+	// the paper's always-on, dynamic-only accounting exactly.
+	DPM *dpm.Manager
 }
 
 func (o Options) withDefaults() Options {
@@ -44,10 +58,14 @@ type Power struct {
 	SwitchMW float64
 	BufferMW float64
 	WireMW   float64
+	// StaticMW is the always-on (leakage + clock) power drawn over the
+	// window, including state-transition overhead. Zero unless a power
+	// manager with a non-zero static model drove the run.
+	StaticMW float64
 }
 
 // TotalMW sums the components.
-func (p Power) TotalMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW }
+func (p Power) TotalMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW + p.StaticMW }
 
 // Result is one simulation measurement.
 type Result struct {
@@ -73,6 +91,10 @@ type Result struct {
 	// QueuedCells is the ingress backlog at the end of the window (a
 	// saturation indicator).
 	QueuedCells int
+	// DPM is the power manager's ledger over the window: static and
+	// transition energy, DVFS dynamic adjustment, and state-change
+	// counters. Nil when no manager drove the run.
+	DPM *dpm.Report
 }
 
 // bufferEventCounter is implemented by fabrics with internal buffers.
@@ -94,15 +116,24 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 	}
 	opt = opt.withDefaults()
 
+	mgr := opt.DPM
 	slot := uint64(0)
 	for ; slot < opt.WarmupSlots; slot++ {
 		for _, c := range gen.Generate(slot) {
 			r.Inject(c, slot)
 		}
-		r.Step(slot)
+		if mgr != nil {
+			mgr.PreSlot(slot, r)
+			mgr.PostSlot(slot, r.Step(slot), r.Fabric().Energy())
+		} else {
+			r.Step(slot)
+		}
 	}
 	r.ResetMetrics()
 	r.Fabric().ResetEnergy()
+	if mgr != nil {
+		mgr.BeginMeasurement()
+	}
 	var bufferBase uint64
 	if bc, ok := r.Fabric().(bufferEventCounter); ok {
 		bufferBase = bc.BufferEvents()
@@ -113,11 +144,21 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		for _, c := range gen.Generate(slot) {
 			r.Inject(c, slot)
 		}
-		r.Step(slot)
+		if mgr != nil {
+			mgr.PreSlot(slot, r)
+			mgr.PostSlot(slot, r.Step(slot), r.Fabric().Energy())
+		} else {
+			r.Step(slot)
+		}
 	}
 
 	m := r.Metrics()
 	e := r.Fabric().Energy()
+	if mgr != nil {
+		// DVFS runs low-voltage slots cheaper than the fabric's ledger
+		// assumed; fold the (non-positive) adjustment back in.
+		e = e.Add(mgr.Report().DynamicAdjust)
+	}
 	durationNS := float64(opt.MeasureSlots) * tp.CellTimeNS(cellBits)
 	res := Result{
 		Arch:            r.Fabric().Arch(),
@@ -137,6 +178,11 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 	}
 	if bc, ok := r.Fabric().(bufferEventCounter); ok {
 		res.BufferEvents = bc.BufferEvents() - bufferBase
+	}
+	if mgr != nil {
+		rep := mgr.Report()
+		res.DPM = &rep
+		res.Power.StaticMW = tech.PowerMW(rep.StaticFJ+rep.TransitionFJ, durationNS)
 	}
 	return res, nil
 }
