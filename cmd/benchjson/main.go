@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, so CI can archive benchmark results as a machine-readable
+// artifact and the performance trajectory accumulates across commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-out file]
+//
+// Each benchmark line becomes one object; `pkg:` context lines from
+// multi-package runs attribute every benchmark to its package. Lines
+// that are not benchmark results (PASS, ok, goos, ...) are skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and returns the benchmark lines.
+func Parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		res.Package = pkg
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one benchmark result line:
+//
+//	BenchmarkName-8   123   4567 ns/op [  89 B/op   2 allocs/op]
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	var res Result
+	res.Name = fields[0]
+	res.Procs = 1
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = p
+			res.Name = res.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	if fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.NsPerOp = ns
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = v
+			res.HasMem = true
+		case "allocs/op":
+			res.AllocsPerOp = v
+			res.HasMem = true
+		}
+	}
+	return res, true
+}

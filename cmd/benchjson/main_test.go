@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: fabricpower
+cpu: Fake CPU @ 3.00GHz
+BenchmarkCrossbarStep-8     	  123456	      9876 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepParallel-8    	      50	  22000000 ns/op
+PASS
+ok  	fabricpower	1.234s
+pkg: fabricpower/internal/netsim
+BenchmarkNetworkStep        	    2000	    500000 ns/op	    4096 B/op	      12 allocs/op
+PASS
+ok  	fabricpower/internal/netsim	2.000s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Package != "fabricpower" || r.Name != "BenchmarkCrossbarStep" || r.Procs != 8 {
+		t.Errorf("result 0 identity: %+v", r)
+	}
+	if r.Iterations != 123456 || r.NsPerOp != 9876 || !r.HasMem || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("result 0 numbers: %+v", r)
+	}
+	if results[1].HasMem {
+		t.Errorf("result 1 has no -benchmem columns: %+v", results[1])
+	}
+	r = results[2]
+	if r.Package != "fabricpower/internal/netsim" || r.Name != "BenchmarkNetworkStep" || r.Procs != 1 {
+		t.Errorf("result 2 identity: %+v", r)
+	}
+	if r.BytesPerOp != 4096 || r.AllocsPerOp != 12 {
+		t.Errorf("result 2 mem: %+v", r)
+	}
+}
+
+func TestParseSkipsNoise(t *testing.T) {
+	results, err := Parse(strings.NewReader("PASS\nok x 1s\nBenchmarkBroken garbage ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -20,43 +21,63 @@ import (
 )
 
 func main() {
-	width := flag.Int("width", 32, "datapath width in bits")
-	cycles := flag.Int("cycles", 256, "measured cycles per input vector")
-	seed := flag.Int64("seed", 1, "payload PRNG seed")
-	calibrate := flag.Bool("calibrate", true, "calibrate to the paper's banyan [0,1] = 1080 fJ anchor")
-	which := flag.String("switch", "all", "all | crosspoint | banyan | batcher | mux")
-	jsonOut := flag.String("json", "", "write the selected LUTs as JSON files with this prefix")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable command body: it parses args with its own flag
+// set and writes the characterization to w.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("charlib", flag.ContinueOnError)
+	width := fs.Int("width", 32, "datapath width in bits")
+	cycles := fs.Int("cycles", 256, "measured cycles per input vector")
+	seed := fs.Int64("seed", 1, "payload PRNG seed")
+	calibrate := fs.Bool("calibrate", true, "calibrate to the paper's banyan [0,1] = 1080 fJ anchor")
+	which := fs.String("switch", "all", "all | crosspoint | banyan | batcher | mux")
+	jsonOut := fs.String("json", "", "write the selected LUTs as JSON files with this prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *which {
+	case "all", "crosspoint", "banyan", "batcher", "mux":
+	default:
+		return fmt.Errorf("unknown switch %q (want all, crosspoint, banyan, batcher or mux)", *which)
+	}
 
 	tp := tech.Default180nm()
 	lib, err := gates.NewLibrary(tp.GateCapFF, tp.VDD)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	opt := energy.CharOptions{Cycles: *cycles, Seed: *seed}
 
 	// Characterize the anchor first so one global factor applies.
 	bn, err := circuits.BanyanSwitch(lib, *width)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	bnTab, err := energy.Characterize(bn, opt)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	scale := 1.0
 	if *calibrate {
 		raw := bnTab.EnergyFJ(0b01)
 		if raw <= 0 {
-			fail(fmt.Errorf("anchor characterized at %g fJ", raw))
+			return fmt.Errorf("anchor characterized at %g fJ", raw)
 		}
 		scale = energy.PaperBanyan().EnergyFJ(0b01) / raw
-		fmt.Printf("# calibration factor %.5g (banyan [0,1] -> 1080 fJ)\n", scale)
+		fmt.Fprintf(w, "# calibration factor %.5g (banyan [0,1] -> 1080 fJ)\n", scale)
 	}
 
-	saveJSON := func(name string, t energy.Table) {
+	saveJSON := func(name string, t energy.Table) error {
 		if *jsonOut == "" {
-			return
+			return nil
 		}
 		out := t
 		if scale != 1 {
@@ -70,69 +91,74 @@ func main() {
 		path := *jsonOut + strings.ReplaceAll(name, " ", "-") + ".json"
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		if err := energy.WriteJSON(f, out); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("# wrote %s\n", path)
+		fmt.Fprintf(w, "# wrote %s\n", path)
+		return nil
 	}
 
-	dump2 := func(name string, t energy.Table) {
-		fmt.Printf("%s:\n", name)
+	dump2 := func(name string, t energy.Table) error {
+		fmt.Fprintf(w, "%s:\n", name)
 		for v := energy.Vector(0); v < 1<<uint(t.Inputs()); v++ {
-			fmt.Printf("  [%0*b] %.1f fJ/bit\n", t.Inputs(), uint64(v), t.EnergyFJ(v)*scale)
+			fmt.Fprintf(w, "  [%0*b] %.1f fJ/bit\n", t.Inputs(), uint64(v), t.EnergyFJ(v)*scale)
 		}
-		saveJSON(name, t)
+		return saveJSON(name, t)
 	}
 
 	if *which == "all" || *which == "banyan" {
-		dump2("banyan 2x2", bnTab)
+		if err := dump2("banyan 2x2", bnTab); err != nil {
+			return err
+		}
 	}
 	if *which == "all" || *which == "crosspoint" {
 		xp, err := circuits.Crosspoint(lib, *width)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		t, err := energy.Characterize(xp, opt)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		dump2("crosspoint", t)
+		if err := dump2("crosspoint", t); err != nil {
+			return err
+		}
 	}
 	if *which == "all" || *which == "batcher" {
 		bt, err := circuits.BatcherSwitch(lib, *width, 5)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		t, err := energy.Characterize(bt, opt)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		dump2("batcher 2x2", t)
+		if err := dump2("batcher 2x2", t); err != nil {
+			return err
+		}
 	}
 	if *which == "all" || *which == "mux" {
 		for _, n := range []int{4, 8, 16, 32} {
 			mx, err := circuits.MuxN(lib, *width, n)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			t, err := energy.Characterize(mx, opt)
 			if err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Printf("mux N=%d:\n", n)
+			fmt.Fprintf(w, "mux N=%d:\n", n)
 			for k := 1; k <= n; k *= 2 {
 				v := energy.Vector(1<<uint(k) - 1)
-				fmt.Printf("  [%d active] %.1f fJ/bit\n", k, t.EnergyFJ(v)*scale)
+				fmt.Fprintf(w, "  [%d active] %.1f fJ/bit\n", k, t.EnergyFJ(v)*scale)
 			}
-			saveJSON(fmt.Sprintf("mux%d", n), t)
+			if err := saveJSON(fmt.Sprintf("mux%d", n), t); err != nil {
+				return err
+			}
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunTinyCharacterization drives a small gate-level flow end to end
+// and checks the calibrated banyan table lands on the paper's anchor.
+func TestRunTinyCharacterization(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-width", "8", "-cycles", "16", "-switch", "banyan"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# calibration factor") {
+		t.Errorf("missing calibration line:\n%s", out)
+	}
+	if !strings.Contains(out, "banyan 2x2:") {
+		t.Errorf("missing banyan table:\n%s", out)
+	}
+	// Calibration pins the [01] vector at the paper's 1080 fJ anchor.
+	m := regexp.MustCompile(`\[01\] (\d+\.\d) fJ/bit`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no [01] entry:\n%s", out)
+	}
+	if m[1] != "1080.0" {
+		t.Errorf("calibrated banyan [01] = %s fJ, want 1080.0", m[1])
+	}
+}
+
+func TestRunUncalibrated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-width", "8", "-cycles", "16", "-switch", "crosspoint", "-calibrate=false"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# calibration factor") {
+		t.Error("uncalibrated run printed a calibration factor")
+	}
+	if !strings.Contains(buf.String(), "crosspoint:") {
+		t.Errorf("missing crosspoint table:\n%s", buf.String())
+	}
+}
+
+func TestRunWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "lut-")
+	var buf bytes.Buffer
+	if err := run([]string{"-width", "8", "-cycles", "16", "-switch", "banyan", "-json", prefix}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(prefix + "banyan-2x2.json")
+	if err != nil {
+		t.Fatalf("JSON LUT not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"inputs\"") {
+		t.Errorf("JSON LUT content unexpected: %s", data)
+	}
+}
+
+func TestRunFlagParsing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-switch", "quantum"}, &buf); err == nil {
+		t.Error("unknown switch should fail")
+	}
+	if err := run([]string{"-width", "nope"}, &buf); err == nil {
+		t.Error("bad width should fail")
+	}
+	if err := run([]string{"-h"}, &buf); err != flag.ErrHelp {
+		t.Errorf("-h should return flag.ErrHelp, got %v", err)
+	}
+}

@@ -13,6 +13,8 @@
 //	fabricpower ablate [-study buffer|fcwire|queue]
 //	fabricpower simulate -arch banyan -ports 16 -load 0.3
 //	fabricpower dpm [-policies alwayson,idlegate,...] [-archs banyan] [-loads 0.1,0.3] [-workers N]
+//	fabricpower net [-topos fattree,ring] [-nodes 4] [-routings shortest,consolidate]
+//	                [-policies alwayson,idlegate] [-matrix uniform] [-loads 0.1,0.3] [-workers N]
 //
 // Sweep commands fan their operating points across -workers goroutines
 // (default: all cores); results are bit-identical for any worker count.
@@ -58,6 +60,8 @@ func main() {
 		err = runSimulate(args)
 	case "dpm":
 		err = runDPM(args)
+	case "net":
+		err = runNet(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,6 +90,9 @@ commands:
   simulate    one operating point with full breakdown
   dpm         power-management study: policy × architecture × load grid
               with static power attached (gating, sleep, DVFS savings)
+  net         network-of-routers study: topology × routing × DPM policy
+              × load grid, multi-hop flows over a backbone of full
+              fabric+router nodes
 
 sweep commands accept -workers N (default 0 = all cores); results are
 bit-identical for any worker count`)
@@ -350,6 +357,53 @@ func runDPM(args []string) error {
 	}
 	study, err := exp.RunDPMStudy(model, parseNames(*policiesFlag), archs, *ports, loads,
 		simParams(*slots, *seed, *workers))
+	if err != nil {
+		return err
+	}
+	if err := study.Render(os.Stdout); err != nil {
+		return err
+	}
+	return withCSV(*csvPath, study.CSV)
+}
+
+func runNet(args []string) error {
+	fs := flag.NewFlagSet("net", flag.ExitOnError)
+	toposFlag := fs.String("topos", "", "comma-separated topologies (default: chain,ring,star,fattree)")
+	nodes := fs.Int("nodes", 4, "topology size (for fattree: leaf count)")
+	routingsFlag := fs.String("routings", "", "comma-separated routing policies (default: shortest,consolidate)")
+	policiesFlag := fs.String("policies", "", "comma-separated DPM policies (default: alwayson,idlegate)")
+	matrix := fs.String("matrix", "uniform", "traffic matrix: uniform | gravity | hotspot")
+	archName := fs.String("arch", "crossbar", "per-node fabric architecture")
+	loadsFlag := fs.String("loads", "", "comma-separated per-host offered loads (default 0.1,0.2,0.3,0.4,0.5)")
+	slots := fs.Uint64("slots", 3000, "measured slots per point")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	csvPath := fs.String("csv", "", "also write CSV to this file")
+	noStatic := fs.Bool("nostatic", false, "zero static power: dynamic-only accounting (routing and gating still shape traffic)")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := core.ParseArchitecture(*archName)
+	if err != nil {
+		return err
+	}
+	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	model := core.PaperModel()
+	if !*noStatic {
+		model.Static = core.DefaultStaticPower()
+	}
+	study, err := exp.RunNetworkStudy(model, exp.NetworkStudyOptions{
+		Arch:       arch,
+		Nodes:      *nodes,
+		Topologies: parseNames(*toposFlag),
+		Routings:   parseNames(*routingsFlag),
+		Policies:   parseNames(*policiesFlag),
+		Loads:      loads,
+		Matrix:     *matrix,
+	}, simParams(*slots, *seed, *workers))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseSizes(t *testing.T) {
 	got, err := parseSizes("4,8, 16,32")
@@ -70,6 +75,52 @@ func TestParseArchs(t *testing.T) {
 	}
 	if _, err := parseArchs("toroidal"); err == nil {
 		t.Fatal("unknown architecture should fail")
+	}
+}
+
+// TestRunNetTiny drives the net subcommand end to end on a small grid
+// and checks the CSV side channel carries every point.
+func TestRunNetTiny(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "net.csv")
+	// Silence the rendered table: the test only asserts the CSV.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	err = runNet([]string{
+		"-topos", "fattree", "-nodes", "4",
+		"-routings", "shortest,consolidate", "-policies", "alwayson,idlegate",
+		"-loads", "0.1", "-slots", "400", "-csv", csv,
+	})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if want := 1 + 2*2; len(lines) != want {
+		t.Fatalf("CSV rows = %d, want %d:\n%s", len(lines), want, data)
+	}
+	if !strings.Contains(lines[0], "topology,routing,policy") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunNetRejectsBadFlags(t *testing.T) {
+	if err := runNet([]string{"-topos", "moebius"}); err == nil {
+		t.Error("unknown topology should fail")
+	}
+	if err := runNet([]string{"-arch", "toroidal"}); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+	if err := runNet([]string{"-matrix", "chaos", "-topos", "ring"}); err == nil {
+		t.Error("unknown matrix should fail")
 	}
 }
 

@@ -1,0 +1,274 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/netsim"
+	"fabricpower/internal/plot"
+	"fabricpower/internal/sweep"
+)
+
+// NetPoint is one operating point of the network study: a topology
+// carrying one traffic load, routed by one policy, with one DPM policy
+// on every router.
+type NetPoint struct {
+	Topology string
+	Routing  string
+	Policy   string
+	Load     float64
+	Report   *netsim.Report
+}
+
+// NetworkStudy is the topology × routing × DPM policy × load grid with
+// the network-wide report at every point.
+type NetworkStudy struct {
+	Arch       core.Architecture
+	Nodes      int
+	Topologies []string
+	Routings   []string
+	Policies   []string
+	Loads      []float64
+	Points     []NetPoint
+}
+
+// NetworkStudyOptions parameterizes RunNetworkStudy. Zero values select
+// the defaults noted on each field.
+type NetworkStudyOptions struct {
+	// Arch is every node's fabric architecture (default Crossbar).
+	Arch core.Architecture
+	// Nodes sizes each topology (default 4; for "fattree" it counts the
+	// leaves — see netsim.BuildTopology).
+	Nodes int
+	// Topologies, Routings, Policies and Loads span the grid. Defaults:
+	// all topologies, all routing policies, alwayson+idlegate, the
+	// paper's 10–50% loads.
+	Topologies []string
+	Routings   []string
+	Policies   []string
+	Loads      []float64
+	// Matrix names the traffic matrix (default "uniform"); one matrix
+	// per study so every grid point compares under the same demand
+	// shape.
+	Matrix string
+}
+
+func (o NetworkStudyOptions) withDefaults() NetworkStudyOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if len(o.Topologies) == 0 {
+		o.Topologies = netsim.TopologyNames()
+	}
+	if len(o.Routings) == 0 {
+		o.Routings = netsim.RoutingNames()
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = []string{"alwayson", "idlegate"}
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = DefaultLoads()
+	}
+	if o.Matrix == "" {
+		o.Matrix = "uniform"
+	}
+	return o
+}
+
+// netSeed mixes the experiment base seed with the coordinates that must
+// share a traffic stream: topology and load — but not routing or DPM
+// policy, so every (routing, policy) pair at one point is compared
+// under the identical offered cell sequence, exactly as RunDPMPoint
+// compares policies.
+func netSeed(base int64, topo string, nodes int, load float64) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(base))
+	for _, b := range []byte(topo) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(uint64(nodes))
+	mix(math.Float64bits(load))
+	return int64(h)
+}
+
+// RunNetworkPoint simulates one network operating point: the named
+// topology at the given size, the matrix's demand at the load, routed
+// by the named policy, every router under the named DPM policy.
+func RunNetworkPoint(model core.Model, opt NetworkStudyOptions, topo, routing, policy string, load float64, p SimParams) (*netsim.Report, error) {
+	opt = opt.withDefaults()
+	p = p.WithDefaults()
+	t, err := netsim.BuildTopology(topo, opt.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := netsim.NewRouting(routing)
+	if err != nil {
+		return nil, err
+	}
+	m, err := netsim.NewMatrix(opt.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	net, err := netsim.New(netsim.Config{
+		Topology: t,
+		Arch:     opt.Arch,
+		Model:    model,
+		CellBits: p.CellBits,
+		Queue:    p.Queue,
+		Policy:   policy,
+		Routing:  rt,
+		Matrix:   m,
+		Load:     load,
+		Seed:     netSeed(p.Seed, topo, opt.Nodes, load),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s/%s at %.0f%%: %w", topo, routing, policy, load*100, err)
+	}
+	return net.Run(p.WarmupSlots, p.MeasureSlots)
+}
+
+// netItem is one sweep-engine work item of the study grid.
+type netItem struct {
+	topo, routing, policy string
+	load                  float64
+}
+
+// RunNetworkStudy sweeps the topology × routing × DPM policy × load
+// grid on the sweep engine (p.Workers goroutines, bit-identical results
+// for any worker count: every point's network is seeded from its own
+// coordinates and simulated independently). Attach model.Static for the
+// study to show power-management savings; a zero static model prices
+// dynamic energy only.
+func RunNetworkStudy(model core.Model, opt NetworkStudyOptions, p SimParams) (*NetworkStudy, error) {
+	opt = opt.withDefaults()
+	items := make([]netItem, 0, len(opt.Topologies)*len(opt.Routings)*len(opt.Policies)*len(opt.Loads))
+	for _, topo := range opt.Topologies {
+		for _, rt := range opt.Routings {
+			for _, pol := range opt.Policies {
+				for _, load := range opt.Loads {
+					items = append(items, netItem{topo: topo, routing: rt, policy: pol, load: load})
+				}
+			}
+		}
+	}
+	reports, err := sweep.Map(p.Workers, items, func(_ int, it netItem) (*netsim.Report, error) {
+		return RunNetworkPoint(model, opt, it.topo, it.routing, it.policy, it.load, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &NetworkStudy{
+		Arch:       opt.Arch,
+		Nodes:      opt.Nodes,
+		Topologies: opt.Topologies,
+		Routings:   opt.Routings,
+		Policies:   opt.Policies,
+		Loads:      opt.Loads,
+		Points:     make([]NetPoint, len(items)),
+	}
+	for i, it := range items {
+		s.Points[i] = NetPoint{Topology: it.topo, Routing: it.routing, Policy: it.policy,
+			Load: it.load, Report: reports[i]}
+	}
+	return s, nil
+}
+
+// Point finds one operating point.
+func (s *NetworkStudy) Point(topo, routing, policy string, load float64) (NetPoint, bool) {
+	for _, pt := range s.Points {
+		if pt.Topology == topo && pt.Routing == routing && pt.Policy == policy && pt.Load == load {
+			return pt, true
+		}
+	}
+	return NetPoint{}, false
+}
+
+// Render writes one table per topology: each routing × DPM policy pair
+// across the load sweep with the network power total, the saving
+// against the shortest-path always-on baseline at the same point, and
+// the delivery/latency cost.
+func (s *NetworkStudy) Render(w io.Writer) error {
+	for _, topo := range s.Topologies {
+		t := plot.Table{
+			Title: fmt.Sprintf("Network study — %s, %d nodes, %s fabric", topo, s.Nodes, s.Arch),
+			Headers: []string{"routing", "policy", "offered", "delivered", "net_mW",
+				"saved_mW", "avg_lat", "avg_hops", "dropped"},
+		}
+		rows := 0
+		for _, rt := range s.Routings {
+			for _, pol := range s.Policies {
+				for _, load := range s.Loads {
+					pt, ok := s.Point(topo, rt, pol, load)
+					if !ok {
+						continue
+					}
+					rows++
+					r := pt.Report
+					saved := "-"
+					if base, ok := s.Point(topo, "shortest", "alwayson", load); ok && (rt != "shortest" || pol != "alwayson") {
+						saved = fmtMW(base.Report.Total.TotalMW() - r.Total.TotalMW())
+					}
+					t.AddRow(rt, pol, fmtPct(load), fmtPct(r.DeliveryRatio),
+						fmtMW(r.Total.TotalMW()), saved,
+						fmt.Sprintf("%.2f", r.AvgLatencySlots),
+						fmt.Sprintf("%.2f", r.AvgHops),
+						fmt.Sprintf("%d", r.NodeDroppedCells+r.LinkDroppedCells))
+				}
+			}
+		}
+		if rows == 0 {
+			continue
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "net_mW sums every router's switch+buffer+wire+static power; saved_mW is against shortest-path routing on always-on routers under identical traffic.")
+	return err
+}
+
+// CSV writes the study as one flat table.
+func (s *NetworkStudy) CSV(w io.Writer) error {
+	headers := []string{"topology", "routing", "policy", "nodes", "offered", "delivery_ratio",
+		"net_mw", "dyn_mw", "static_mw", "avg_latency_slots", "max_latency_slots",
+		"avg_hops", "node_dropped", "link_dropped"}
+	var rows [][]string
+	for _, pt := range s.Points {
+		r := pt.Report
+		dyn := r.Total.SwitchMW + r.Total.BufferMW + r.Total.WireMW
+		rows = append(rows, []string{
+			pt.Topology,
+			pt.Routing,
+			pt.Policy,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%.3f", pt.Load),
+			fmt.Sprintf("%.5f", r.DeliveryRatio),
+			fmt.Sprintf("%.5f", r.Total.TotalMW()),
+			fmt.Sprintf("%.5f", dyn),
+			fmt.Sprintf("%.5f", r.Total.StaticMW),
+			fmt.Sprintf("%.3f", r.AvgLatencySlots),
+			fmt.Sprintf("%d", r.MaxLatencySlots),
+			fmt.Sprintf("%.3f", r.AvgHops),
+			fmt.Sprintf("%d", r.NodeDroppedCells),
+			fmt.Sprintf("%d", r.LinkDroppedCells),
+		})
+	}
+	return plot.WriteCSV(w, headers, rows)
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fabricpower/internal/core"
+)
+
+func netTestParams(workers int) SimParams {
+	return SimParams{WarmupSlots: 100, MeasureSlots: 500, Seed: 3, CellBits: 256, Workers: workers}
+}
+
+func netTestOptions() NetworkStudyOptions {
+	return NetworkStudyOptions{
+		Nodes:      4,
+		Topologies: []string{"ring", "fattree"},
+		Routings:   []string{"shortest", "consolidate"},
+		Policies:   []string{"alwayson", "idlegate"},
+		Loads:      []float64{0.1, 0.3},
+	}
+}
+
+func staticModel() core.Model {
+	m := core.PaperModel()
+	m.Static = core.DefaultStaticPower()
+	return m
+}
+
+func TestRunNetworkStudy(t *testing.T) {
+	s, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2 * 2; len(s.Points) != want {
+		t.Fatalf("points = %d, want %d", len(s.Points), want)
+	}
+	for _, pt := range s.Points {
+		if pt.Report.DeliveredCells == 0 {
+			t.Errorf("%s/%s/%s at %g: no cells delivered", pt.Topology, pt.Routing, pt.Policy, pt.Load)
+		}
+		if pt.Report.Total.TotalMW() <= 0 {
+			t.Errorf("%s/%s/%s at %g: no power drawn", pt.Topology, pt.Routing, pt.Policy, pt.Load)
+		}
+	}
+	// The identical-traffic guarantee: at one (topology, load) point,
+	// every routing × policy pair must see the same offered cells.
+	for _, topo := range s.Topologies {
+		for _, load := range s.Loads {
+			base, _ := s.Point(topo, "shortest", "alwayson", load)
+			for _, rt := range s.Routings {
+				for _, pol := range s.Policies {
+					pt, ok := s.Point(topo, rt, pol, load)
+					if !ok {
+						t.Fatalf("missing point %s/%s/%s %g", topo, rt, pol, load)
+					}
+					if pt.Report.OfferedCells != base.Report.OfferedCells {
+						t.Errorf("%s at %g: %s/%s offered %d cells, alwayson baseline %d — traffic streams diverged",
+							topo, load, rt, pol, pt.Report.OfferedCells, base.Report.OfferedCells)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunNetworkStudyWorkerDeterminism pins the sweep invariant on the
+// network study: a parallel run is bit-identical to the sequential one.
+func TestRunNetworkStudyWorkerDeterminism(t *testing.T) {
+	seq, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("network study differs between Workers:1 and Workers:8")
+	}
+}
+
+func TestNetworkStudyRenderAndCSV(t *testing.T) {
+	opt := netTestOptions()
+	opt.Topologies = []string{"fattree"}
+	s, err := RunNetworkStudy(staticModel(), opt, netTestParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Network study — fattree", "consolidate", "idlegate", "saved_mW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := s.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if want := 1 + len(s.Points); len(lines) != want {
+		t.Errorf("CSV rows = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "topology,routing,policy") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestNetworkStudyConsolidationSavings pins the study-level headline:
+// on the fat-tree at low load, the energy-aware pairing saves network
+// power over the baseline pairing.
+func TestNetworkStudyConsolidationSavings(t *testing.T) {
+	opt := netTestOptions()
+	opt.Topologies = []string{"fattree"}
+	opt.Loads = []float64{0.1}
+	s, err := RunNetworkStudy(staticModel(), opt, netTestParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok1 := s.Point("fattree", "shortest", "alwayson", 0.1)
+	green, ok2 := s.Point("fattree", "consolidate", "idlegate", 0.1)
+	if !ok1 || !ok2 {
+		t.Fatal("study points missing")
+	}
+	if green.Report.Total.TotalMW() >= base.Report.Total.TotalMW() {
+		t.Errorf("consolidate+idlegate %.3f mW >= shortest+alwayson %.3f mW",
+			green.Report.Total.TotalMW(), base.Report.Total.TotalMW())
+	}
+}

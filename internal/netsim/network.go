@@ -1,0 +1,438 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+)
+
+// Config assembles a network simulation.
+type Config struct {
+	// Topology wires the routers together.
+	Topology *Topology
+	// Arch selects every node's switch-fabric architecture.
+	Arch core.Architecture
+	// Model supplies the energy model shared by all nodes. Attach
+	// Model.Static (core.DefaultStaticPower) to study power management;
+	// the zero static model reproduces dynamic-only accounting.
+	Model core.Model
+	// CellBits is the fixed cell size (default 1024).
+	CellBits int
+	// Queue selects each router's ingress discipline (default FIFO).
+	Queue router.QueueDiscipline
+	// MaxQueueCells caps each ingress queue (default 64). Link
+	// forwarding backpressures against it: a cell stays on its link
+	// until the next-hop ingress has room.
+	MaxQueueCells int
+	// LinkQueueCells caps each inter-router link queue (default 32).
+	// A cell delivered to a full link is dropped and counted.
+	LinkQueueCells int
+	// Policy, when non-empty, runs one dpm.Manager per router under the
+	// named policy (dpm.NewPolicy). Empty means unmanaged routers with
+	// the paper's dynamic-only accounting.
+	Policy string
+	// Routing maps flows to paths (default ShortestPath).
+	Routing RoutingPolicy
+	// Matrix generates the demand between host nodes (default
+	// UniformMatrix). Ignored when Flows is non-empty.
+	Matrix TrafficMatrix
+	// Load is the per-host offered load in cells per slot, fed to
+	// Matrix. Ignored when Flows is non-empty.
+	Load float64
+	// Flows overrides Matrix+Load with an explicit demand list
+	// (rates in cells/slot); tests use it to pin exact flows.
+	Flows []Flow
+	// Seed drives the Bernoulli injection streams deterministically.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellBits == 0 {
+		c.CellBits = 1024
+	}
+	if c.MaxQueueCells == 0 {
+		c.MaxQueueCells = 64
+	}
+	if c.LinkQueueCells == 0 {
+		c.LinkQueueCells = 32
+	}
+	if c.Routing == nil {
+		c.Routing = ShortestPath{}
+	}
+	if c.Matrix == nil {
+		c.Matrix = UniformMatrix{}
+	}
+	return c
+}
+
+// linkQueue is a fixed-capacity ring buffer of cells in flight on one
+// link — fixed so the forwarding path never allocates.
+type linkQueue struct {
+	buf        []*packet.Cell
+	head, size int
+}
+
+func (q *linkQueue) full() bool  { return q.size == len(q.buf) }
+func (q *linkQueue) empty() bool { return q.size == 0 }
+
+func (q *linkQueue) push(c *packet.Cell) {
+	q.buf[(q.head+q.size)%len(q.buf)] = c
+	q.size++
+}
+
+func (q *linkQueue) pop() *packet.Cell {
+	c := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return c
+}
+
+// Network is the slot-synchronous multi-router kernel: per slot it
+// injects each flow's cells at its source edge port, moves cells across
+// the inter-router links into next-hop ingress queues (capacity-limited,
+// with backpressure), and steps every router — fabric transport, DPM
+// hooks and energy accounting included — in lockstep.
+type Network struct {
+	cfg     Config
+	topo    *Topology
+	routers []*router.Router
+	mgrs    []*dpm.Manager // nil entries when unmanaged
+	links   []linkQueue
+	flows   []Flow
+	rng     *rand.Rand
+	nextID  uint64
+	words   int
+	slot    uint64 // next slot to simulate; Run continues from here
+
+	// Measured-window counters (end-to-end, across hops).
+	offered      uint64
+	delivered    uint64
+	linkDropped  uint64
+	latencySlots uint64
+	maxLatency   uint64
+	hopSlots     uint64
+	bufferBase   []uint64
+}
+
+// New builds the network: one router (and one manager, if a policy is
+// named) per topology node, routed flows, and empty link queues.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	t := cfg.Topology
+	if t == nil {
+		return nil, fmt.Errorf("netsim: topology is required")
+	}
+	flows := cfg.Flows
+	if len(flows) == 0 {
+		var err error
+		flows, err = buildFlows(t, cfg.Matrix, cfg.Load)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		flows = append([]Flow(nil), flows...)
+	}
+	for i := range flows {
+		f := &flows[i]
+		if f.Src < 0 || f.Src >= t.Nodes || f.Dst < 0 || f.Dst >= t.Nodes || f.Src == f.Dst {
+			return nil, fmt.Errorf("netsim: flow %d: bad endpoints %d→%d", i, f.Src, f.Dst)
+		}
+		if len(t.EdgePorts(f.Src)) == 0 || len(t.EdgePorts(f.Dst)) == 0 {
+			return nil, fmt.Errorf("netsim: flow %d: endpoints %d→%d must both have edge ports", i, f.Src, f.Dst)
+		}
+		if f.Rate < 0 || f.Rate > 1 {
+			return nil, fmt.Errorf("netsim: flow %d: rate %g out of [0,1]", i, f.Rate)
+		}
+	}
+
+	paths, err := cfg.Routing.Route(t, flows)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) != len(flows) {
+		return nil, fmt.Errorf("netsim: routing %s returned %d paths for %d flows", cfg.Routing.Name(), len(paths), len(flows))
+	}
+	for i := range flows {
+		if err := wireFlow(t, &flows[i], i, paths[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	n := &Network{
+		cfg:        cfg,
+		topo:       t,
+		routers:    make([]*router.Router, t.Nodes),
+		mgrs:       make([]*dpm.Manager, t.Nodes),
+		links:      make([]linkQueue, len(t.Links)),
+		flows:      flows,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		words:      packet.Config{CellBits: cfg.CellBits, BusWidth: 32}.Words(),
+		bufferBase: make([]uint64, t.Nodes),
+	}
+	for i := range n.links {
+		if c := t.Links[i].Capacity; c < 1 {
+			return nil, fmt.Errorf("netsim: link %d→%d capacity must be >= 1, got %d",
+				t.Links[i].From, t.Links[i].To, c)
+		}
+		n.links[i].buf = make([]*packet.Cell, cfg.LinkQueueCells)
+	}
+	cell := packet.Config{CellBits: cfg.CellBits, BusWidth: 32}
+	for u := 0; u < t.Nodes; u++ {
+		rcfg := router.Config{
+			Arch:          cfg.Arch,
+			Fabric:        fabric.Config{Ports: t.Ports, Cell: cell, Model: cfg.Model},
+			Queue:         cfg.Queue,
+			MaxQueueCells: cfg.MaxQueueCells,
+		}
+		if cfg.Policy != "" {
+			pol, err := dpm.NewPolicy(cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			mgr, err := dpm.New(dpm.Config{
+				Arch: cfg.Arch, Ports: t.Ports, Model: cfg.Model,
+				CellBits: cfg.CellBits, Policy: pol,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("netsim: node %d: %w", u, err)
+			}
+			n.mgrs[u] = mgr
+			rcfg.Gate = mgr
+		}
+		r, err := router.New(rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: node %d: %w", u, err)
+		}
+		n.routers[u] = r
+	}
+	return n, nil
+}
+
+// wireFlow resolves a routed node path into per-hop ports and links.
+func wireFlow(t *Topology, f *Flow, fi int, path []int) error {
+	if len(path) < 2 || path[0] != f.Src || path[len(path)-1] != f.Dst {
+		return fmt.Errorf("netsim: flow %d: path %v does not span %d→%d", fi, path, f.Src, f.Dst)
+	}
+	f.path = path
+	f.ports = make([]int, len(path))
+	f.links = make([]int, len(path)-1)
+	for h := 0; h+1 < len(path); h++ {
+		li := t.LinkIndex(path[h], path[h+1])
+		if li < 0 {
+			return fmt.Errorf("netsim: flow %d: path hop %d→%d is not a link", fi, path[h], path[h+1])
+		}
+		f.links[h] = li
+		f.ports[h] = t.Links[li].FromPort
+	}
+	// Endpoint edge ports, spread across the available ones by flow
+	// index so hosts with several line cards use them all.
+	srcEdge := t.EdgePorts(f.Src)
+	dstEdge := t.EdgePorts(f.Dst)
+	f.src = srcEdge[fi%len(srcEdge)]
+	f.ports[len(path)-1] = dstEdge[fi%len(dstEdge)]
+	return nil
+}
+
+// Flows returns the routed flow list (paths filled in).
+func (n *Network) Flows() []Flow { return n.flows }
+
+// Router exposes one node's router (tests observe per-node state).
+func (n *Network) Router(u int) *router.Router { return n.routers[u] }
+
+// Step advances the whole network one slot: source injection, link
+// forwarding, then every router in lockstep.
+func (n *Network) Step(slot uint64) {
+	n.injectSources(slot)
+	n.deliverLinks(slot)
+	n.stepRouters(slot)
+}
+
+// injectSources draws each flow's Bernoulli coin and injects fresh
+// cells at the flow's source edge port.
+func (n *Network) injectSources(slot uint64) {
+	for fi := range n.flows {
+		f := &n.flows[fi]
+		if n.rng.Float64() >= f.Rate {
+			continue
+		}
+		n.nextID++
+		n.offered++
+		c := &packet.Cell{
+			ID:          n.nextID,
+			Src:         f.src,
+			Dest:        f.ports[0],
+			Payload:     packet.RandomPayload(n.rng, n.words),
+			CreatedSlot: slot,
+			FlowID:      int32(fi),
+		}
+		// A full source queue drops the cell; the router counts it.
+		n.routers[f.Src].Inject(c, slot)
+	}
+}
+
+// deliverLinks moves cells from link queues into next-hop ingress, up
+// to each link's per-slot capacity. A full ingress queue backpressures
+// the link: its head cell (and everything behind it) waits.
+func (n *Network) deliverLinks(slot uint64) {
+	for li := range n.links {
+		q := &n.links[li]
+		l := &n.topo.Links[li]
+		r := n.routers[l.To]
+		for moved := 0; moved < l.Capacity && !q.empty(); moved++ {
+			if n.cfg.MaxQueueCells > 0 && r.QueueLen(l.ToPort) >= n.cfg.MaxQueueCells {
+				break
+			}
+			c := q.pop()
+			f := &n.flows[c.FlowID]
+			c.Hop++
+			c.Src = l.ToPort
+			c.Dest = f.ports[c.Hop]
+			r.Inject(c, slot)
+		}
+	}
+}
+
+// stepRouters runs every router's slot (DPM hooks included) and routes
+// the delivered cells onward: transit cells onto their next link, cells
+// at their final node into the end-to-end ledger. This per-router loop
+// is allocation-free: flow state rides in the cell, link queues are
+// fixed rings.
+func (n *Network) stepRouters(slot uint64) {
+	for u := range n.routers {
+		r := n.routers[u]
+		mgr := n.mgrs[u]
+		var delivered []*packet.Cell
+		if mgr != nil {
+			mgr.PreSlot(slot, r)
+			delivered = r.Step(slot)
+			mgr.PostSlot(slot, delivered, r.Fabric().Energy())
+		} else {
+			delivered = r.Step(slot)
+		}
+		for _, c := range delivered {
+			f := &n.flows[c.FlowID]
+			if int(c.Hop) == len(f.path)-1 {
+				n.delivered++
+				lat := slot - c.CreatedSlot
+				n.latencySlots += lat
+				if lat > n.maxLatency {
+					n.maxLatency = lat
+				}
+				n.hopSlots += uint64(len(f.links))
+				continue
+			}
+			q := &n.links[f.links[c.Hop]]
+			if q.full() {
+				n.linkDropped++
+				continue
+			}
+			q.push(c)
+		}
+	}
+}
+
+// beginMeasurement closes the warmup window on every router and ledger.
+func (n *Network) beginMeasurement() {
+	for u, r := range n.routers {
+		r.ResetMetrics()
+		r.Fabric().ResetEnergy()
+		if n.mgrs[u] != nil {
+			n.mgrs[u].BeginMeasurement()
+		}
+		if bc, ok := r.Fabric().(interface{ BufferEvents() uint64 }); ok {
+			n.bufferBase[u] = bc.BufferEvents()
+		}
+	}
+	n.offered, n.delivered, n.linkDropped = 0, 0, 0
+	n.latencySlots, n.maxLatency, n.hopSlots = 0, 0, 0
+}
+
+// Run drives the network for warmup plus measure slots and reports the
+// measured window. The slot clock continues across calls, so a second
+// Run on the same network warms up from the state the first one left
+// behind (in-flight cells keep their latency accounting).
+func (n *Network) Run(warmup, measure uint64) (*Report, error) {
+	if measure == 0 {
+		return nil, fmt.Errorf("netsim: measure slots must be positive")
+	}
+	for end := n.slot + warmup; n.slot < end; n.slot++ {
+		n.Step(n.slot)
+	}
+	n.beginMeasurement()
+	for end := n.slot + measure; n.slot < end; n.slot++ {
+		n.Step(n.slot)
+	}
+	return n.report(measure), nil
+}
+
+// Report is the network-wide account of one measured window.
+type Report struct {
+	// Topology, Nodes and Slots identify the run.
+	Topology string
+	Nodes    int
+	Slots    uint64
+	// PerNode holds each router's own measurement (sim.Snapshot); note
+	// a transit router's latency figures measure cell age at its
+	// egress, accumulated since network injection.
+	PerNode []sim.Result
+	// Total is the component-wise sum of every router's power — the
+	// network draw.
+	Total sim.Power
+	// Energy is the summed per-router energy breakdown.
+	Energy core.Breakdown
+	// OfferedCells counts source-injection attempts; DeliveredCells
+	// counts cells that reached their destination host.
+	OfferedCells   uint64
+	DeliveredCells uint64
+	// NodeDroppedCells sums ingress-queue overflows (almost always at
+	// the source edge: transit forwarding backpressures instead);
+	// LinkDroppedCells counts full-link drops at fabric egress.
+	NodeDroppedCells uint64
+	LinkDroppedCells uint64
+	// DeliveryRatio is DeliveredCells/OfferedCells.
+	DeliveryRatio float64
+	// AvgLatencySlots and MaxLatencySlots are end-to-end, injection at
+	// the source edge to delivery at the destination edge.
+	AvgLatencySlots float64
+	MaxLatencySlots uint64
+	// AvgHops is the mean link count of delivered cells' paths.
+	AvgHops float64
+}
+
+func (n *Network) report(measure uint64) *Report {
+	rep := &Report{
+		Topology:         n.topo.Name,
+		Nodes:            n.topo.Nodes,
+		Slots:            measure,
+		PerNode:          make([]sim.Result, n.topo.Nodes),
+		OfferedCells:     n.offered,
+		DeliveredCells:   n.delivered,
+		LinkDroppedCells: n.linkDropped,
+		MaxLatencySlots:  n.maxLatency,
+	}
+	for u, r := range n.routers {
+		res := sim.Snapshot(r, n.mgrs[u], n.cfg.Model.Tech, n.cfg.CellBits, measure, n.bufferBase[u])
+		rep.PerNode[u] = res
+		rep.Total.SwitchMW += res.Power.SwitchMW
+		rep.Total.BufferMW += res.Power.BufferMW
+		rep.Total.WireMW += res.Power.WireMW
+		rep.Total.StaticMW += res.Power.StaticMW
+		rep.Energy = rep.Energy.Add(res.Energy)
+		rep.NodeDroppedCells += res.DroppedCells
+	}
+	if n.offered > 0 {
+		rep.DeliveryRatio = float64(n.delivered) / float64(n.offered)
+	}
+	if n.delivered > 0 {
+		rep.AvgLatencySlots = float64(n.latencySlots) / float64(n.delivered)
+		rep.AvgHops = float64(n.hopSlots) / float64(n.delivered)
+	}
+	return rep
+}

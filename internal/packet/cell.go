@@ -61,6 +61,15 @@ type Cell struct {
 	// CreatedSlot is the injection slot, for latency accounting.
 	CreatedSlot uint64
 
+	// FlowID and Hop belong to the network-level simulator
+	// (internal/netsim): the multi-hop flow the cell rides and its
+	// current position on the flow's path. Carrying them in the cell
+	// keeps the network kernel's forwarding allocation-free — no
+	// side-table lookup per delivered cell. Single-router simulations
+	// leave both zero; routers and fabrics never read them.
+	FlowID int32
+	Hop    int32
+
 	// moved stamps the last slot in which a fabric advanced the cell one
 	// stage, stored as slot+1 so the zero value means "never moved". The
 	// stamp replaces the per-slot map the multistage fabrics would

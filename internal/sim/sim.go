@@ -29,8 +29,13 @@ type Generator interface {
 // Options controls a run.
 type Options struct {
 	// WarmupSlots run before measurement starts (queues and pipelines
-	// fill; energy and metrics are reset afterwards). Default 200.
+	// fill; energy and metrics are reset afterwards). Zero means the
+	// default of 200; set NoWarmup to measure from slot 0.
 	WarmupSlots uint64
+	// NoWarmup makes a zero WarmupSlots literal: measurement starts at
+	// slot 0 with cold queues and pipelines. (A zero value alone cannot
+	// express this — it selects the default warmup.)
+	NoWarmup bool
 	// MeasureSlots is the measured window length. Default 2000.
 	MeasureSlots uint64
 	// DPM, when non-nil, runs the dynamic power manager each slot:
@@ -44,7 +49,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.WarmupSlots == 0 {
+	if o.WarmupSlots == 0 && !o.NoWarmup {
 		o.WarmupSlots = 200
 	}
 	if o.MeasureSlots == 0 {
@@ -152,6 +157,17 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		}
 	}
 
+	return Snapshot(r, mgr, tp, cellBits, opt.MeasureSlots, bufferBase), nil
+}
+
+// Snapshot assembles a Result from the router's current measured
+// window: metrics and fabric energy accumulated since the last
+// ResetMetrics/ResetEnergy (and, with a manager, BeginMeasurement) over
+// slots slots. bufferBase is the fabric's BufferEvents reading at the
+// reset. External drivers that step routers themselves — the network
+// kernel in internal/netsim steps many in lockstep — use it to close
+// their windows with exactly Run's accounting.
+func Snapshot(r *router.Router, mgr *dpm.Manager, tp tech.Params, cellBits int, slots uint64, bufferBase uint64) Result {
 	m := r.Metrics()
 	e := r.Fabric().Energy()
 	if mgr != nil {
@@ -159,12 +175,12 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		// assumed; fold the (non-positive) adjustment back in.
 		e = e.Add(mgr.Report().DynamicAdjust)
 	}
-	durationNS := float64(opt.MeasureSlots) * tp.CellTimeNS(cellBits)
+	durationNS := float64(slots) * tp.CellTimeNS(cellBits)
 	res := Result{
 		Arch:            r.Fabric().Arch(),
 		Ports:           r.Ports(),
-		Slots:           opt.MeasureSlots,
-		Throughput:      m.Throughput(r.Ports(), opt.MeasureSlots),
+		Slots:           slots,
+		Throughput:      m.Throughput(r.Ports(), slots),
 		AvgLatencySlots: m.AvgLatency(),
 		MaxLatencySlots: m.MaxLatency,
 		Energy:          e,
@@ -184,5 +200,5 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		res.DPM = &rep
 		res.Power.StaticMW = tech.PowerMW(rep.StaticFJ+rep.TransitionFJ, durationNS)
 	}
-	return res, nil
+	return res
 }

@@ -112,6 +112,47 @@ func TestRunWarmupExcluded(t *testing.T) {
 	}
 }
 
+// TestRunNoWarmup pins the zero-warmup option: with NoWarmup set, a
+// zero WarmupSlots is literal — measurement starts cold at slot 0 —
+// while the zero value without it still selects the 200-slot default.
+func TestRunNoWarmup(t *testing.T) {
+	mk := func(opt Options) Result {
+		r := testRouter(t, core.Crossbar, 4)
+		// One deterministic cell per port at slot 0, nothing after: a
+		// default-warmup run has nothing left to measure.
+		gen := testGen(t, 4, 1.0, 13)
+		burst := burstGen{cells: gen.Generate(0)}
+		res, err := Run(r, &burst, tech.Default180nm(), 1024, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := mk(Options{NoWarmup: true, MeasureSlots: 50})
+	if cold.Throughput == 0 {
+		t.Error("NoWarmup run measured nothing: slot 0 was warmed away")
+	}
+	warm := mk(Options{MeasureSlots: 50})
+	if warm.Throughput != 0 {
+		t.Errorf("zero WarmupSlots without NoWarmup must keep the 200-slot default, measured %g", warm.Throughput)
+	}
+	// NoWarmup with a non-zero warmup is still a warmed run.
+	both := mk(Options{NoWarmup: true, WarmupSlots: 10, MeasureSlots: 50})
+	if both.Throughput != 0 {
+		t.Errorf("explicit warmup with NoWarmup set should warm normally, measured %g", both.Throughput)
+	}
+}
+
+// burstGen emits a fixed batch at slot 0 and goes silent.
+type burstGen struct{ cells []*packet.Cell }
+
+func (b *burstGen) Generate(slot uint64) []*packet.Cell {
+	if slot == 0 {
+		return b.cells
+	}
+	return nil
+}
+
 func TestRunBanyanCountsBufferEvents(t *testing.T) {
 	r := testRouter(t, core.Banyan, 16)
 	gen := testGen(t, 16, 0.5, 14)
