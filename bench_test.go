@@ -35,6 +35,7 @@ import (
 	"fabricpower/internal/packet"
 	"fabricpower/internal/router"
 	"fabricpower/internal/tech"
+	"fabricpower/study"
 )
 
 func benchParams() exp.SimParams {
@@ -85,7 +86,7 @@ func BenchmarkTechETBit(b *testing.B) {
 // paper's four port configurations.
 func BenchmarkFig9PowerVsThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f9, err := exp.RunFig9(core.PaperModel(), exp.DefaultSizes(), exp.DefaultLoads(), benchParams())
+		f9, err := exp.RunFig9(study.PaperModel(), exp.DefaultSizes(), exp.DefaultLoads(), benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig9PowerVsThroughput(b *testing.B) {
 // throughput, including the fully-connected vs Batcher-Banyan gap.
 func BenchmarkFig10PowerVsPorts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f10, err := exp.RunFig10(core.PaperModel(), exp.DefaultSizes(), 0.5, benchParams())
+		f10, err := exp.RunFig10(study.PaperModel(), exp.DefaultSizes(), 0.5, benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +116,7 @@ func BenchmarkFig10PowerVsPorts(b *testing.B) {
 func BenchmarkObs1Crossover(b *testing.B) {
 	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 	for i := 0; i < b.N; i++ {
-		c, err := exp.RunCrossover(core.PerWordBufferModel(), 32, loads, benchParams())
+		c, err := exp.RunCrossover(study.PerWordModel(), 32, loads, benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkObs1Crossover(b *testing.B) {
 // study behind the paper's 58.6% maximum-throughput statement.
 func BenchmarkSaturationCeiling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s, err := exp.RunSaturation(core.PaperModel(), 16, benchParams())
+		s, err := exp.RunSaturation(study.PaperModel(), 16, benchParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func benchSweep(b *testing.B, workers int) {
 	sizes := []int{8, 16}
 	loads := []float64{0.2, 0.35, 0.5}
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.RunFig9(core.PaperModel(), sizes, loads, p); err != nil {
+		if _, err := exp.RunFig9(study.PaperModel(), sizes, loads, p); err != nil {
 			b.Fatal(err)
 		}
 	}

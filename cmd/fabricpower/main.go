@@ -1,5 +1,5 @@
-// Command fabricpower regenerates the paper's tables and figures and runs
-// the ablation studies.
+// Command fabricpower regenerates the paper's tables and figures, runs
+// the ablation studies, and executes declarative scenario files.
 //
 // Usage:
 //
@@ -15,21 +15,33 @@
 //	fabricpower dpm [-policies alwayson,idlegate,...] [-archs banyan] [-loads 0.1,0.3] [-workers N]
 //	fabricpower net [-topos fattree,ring] [-nodes 4] [-routings shortest,consolidate]
 //	                [-policies alwayson,idlegate] [-matrix uniform] [-loads 0.1,0.3] [-workers N]
+//	fabricpower run <spec.json|-> [-workers N] [-csv file]
+//
+// Every study subcommand accepts -print-scenario: instead of running,
+// it emits the equivalent declarative spec as JSON. Feeding that spec
+// back through `fabricpower run` reproduces the subcommand's output
+// byte for byte:
+//
+//	fabricpower fig10 -print-scenario | fabricpower run -
 //
 // Sweep commands fan their operating points across -workers goroutines
 // (default: all cores); results are bit-identical for any worker count.
+// An interrupt (Ctrl-C) cancels a sweep between operating points.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
+	"fabricpower/study"
 )
 
 func main() {
@@ -37,42 +49,56 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "tech":
-		err = exp.TechReport(core.PaperModel(), os.Stdout)
-	case "table1":
-		err = runTable1(args)
-	case "table2":
-		err = runTable2()
-	case "fig9":
-		err = runFig9(args)
-	case "fig10":
-		err = runFig10(args)
-	case "crossover":
-		err = runCrossover(args)
-	case "saturate":
-		err = runSaturate(args)
-	case "ablate":
-		err = runAblate(args)
-	case "simulate":
-		err = runSimulate(args)
-	case "dpm":
-		err = runDPM(args)
-	case "net":
-		err = runNet(args)
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := dispatch(ctx, os.Args[1], os.Args[2:], os.Stdout); err != nil {
+		if err == errUsage {
+			usage()
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// errUsage asks main for the usage text and exit code 2.
+var errUsage = fmt.Errorf("usage")
+
+// dispatch runs one subcommand, writing its report to w. Factored out
+// of main so the tests can drive subcommands in-process and compare
+// outputs byte for byte.
+func dispatch(ctx context.Context, cmd string, args []string, w io.Writer) error {
+	switch cmd {
+	case "tech":
+		return exp.TechReport(core.PaperModel(), w)
+	case "table1":
+		return runTable1(ctx, args, w)
+	case "table2":
+		return runTable2(w)
+	case "fig9":
+		return runFig9(ctx, args, w)
+	case "fig10":
+		return runFig10(ctx, args, w)
+	case "crossover":
+		return runCrossover(ctx, args, w)
+	case "saturate":
+		return runSaturate(ctx, args, w)
+	case "ablate":
+		return runAblate(args, w)
+	case "simulate":
+		return runSimulate(ctx, args, w)
+	case "dpm":
+		return runDPM(ctx, args, w)
+	case "net":
+		return runNet(ctx, args, w)
+	case "run":
+		return runSpecFile(ctx, args, w)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+	return errUsage
 }
 
 func usage() {
@@ -93,9 +119,71 @@ commands:
   net         network-of-routers study: topology × routing × DPM policy
               × load grid, multi-hop flows over a backbone of full
               fabric+router nodes
+  run         execute a declarative scenario/study spec (JSON file or
+              '-' for stdin); see the study package and README
+
+study subcommands accept -print-scenario to emit their declarative spec
+instead of running; "fabricpower <cmd> -print-scenario | fabricpower
+run -" reproduces the subcommand's output byte for byte.
 
 sweep commands accept -workers N (default 0 = all cores); results are
 bit-identical for any worker count`)
+}
+
+// sweepFlags bundles the flags every sweep subcommand shares, replacing
+// the per-subcommand copies that used to drift.
+type sweepFlags struct {
+	slots         uint64
+	seed          int64
+	workers       int
+	csvPath       string
+	printScenario bool
+}
+
+// register installs the shared flags on fs. csv controls whether the
+// subcommand supports CSV output.
+func (s *sweepFlags) register(fs *flag.FlagSet, defaultSlots uint64, csv bool) {
+	fs.Uint64Var(&s.slots, "slots", defaultSlots, "measured slots per point")
+	fs.Int64Var(&s.seed, "seed", 1, "traffic seed")
+	fs.IntVar(&s.workers, "workers", 0, "parallel sweep workers (0 = all cores)")
+	fs.BoolVar(&s.printScenario, "print-scenario", false, "emit the equivalent scenario spec as JSON instead of running")
+	if csv {
+		fs.StringVar(&s.csvPath, "csv", "", "also write CSV to this file")
+	}
+}
+
+func (s *sweepFlags) params() exp.SimParams {
+	return exp.SimParams{MeasureSlots: s.slots, Seed: s.seed, Workers: s.workers}
+}
+
+// emit either prints the spec (with -print-scenario) or runs it and
+// renders the report, honoring the CSV flag where supported.
+func (s *sweepFlags) emit(ctx context.Context, spec study.Spec, w io.Writer) error {
+	if s.printScenario {
+		return spec.Encode(w)
+	}
+	return runAndRender(ctx, spec, s.workers, s.csvPath, w)
+}
+
+// runAndRender executes a spec, renders its report and writes the CSV
+// side channel when requested — the shared tail of every study
+// subcommand and of `run`.
+func runAndRender(ctx context.Context, spec study.Spec, workers int, csvPath string, w io.Writer) error {
+	rep, err := exp.RunSpec(ctx, spec, workers)
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(w); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		c, ok := rep.(exp.CSVReport)
+		if !ok {
+			return fmt.Errorf("study kind %q has no CSV form", spec.Kind)
+		}
+		return withCSV(csvPath, c.CSV)
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {
@@ -164,28 +252,42 @@ func parseNames(s string) []string {
 	return out
 }
 
-func runTable1(args []string) error {
+// modelSpec selects the declarative model for a subcommand.
+func modelSpec(perWord bool) study.ModelSpec {
+	if perWord {
+		return study.PerWordModel()
+	}
+	return study.PaperModel()
+}
+
+func runTable1(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	cycles := fs.Int("cycles", 192, "measured cycles per input vector")
 	width := fs.Int("width", 32, "datapath width in bits")
 	seed := fs.Int64("seed", 1, "payload PRNG seed")
 	workers := fs.Int("workers", 0, "parallel characterizations (0 = all cores)")
+	printScenario := fs.Bool("print-scenario", false, "emit the equivalent scenario spec as JSON instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	t1, err := exp.RunTable1(core.PaperModel(), exp.Table1Options{Cycles: *cycles, BusWidth: *width, Seed: *seed, Workers: *workers})
+	spec := exp.Table1Spec(study.PaperModel(),
+		exp.Table1Options{Cycles: *cycles, BusWidth: *width, Seed: *seed})
+	if *printScenario {
+		return spec.Encode(w)
+	}
+	rep, err := exp.RunSpec(ctx, spec, *workers)
 	if err != nil {
 		return err
 	}
-	return t1.Render(os.Stdout)
+	return rep.Render(w)
 }
 
-func runTable2() error {
+func runTable2(w io.Writer) error {
 	t2, err := exp.RunTable2(core.PaperModel())
 	if err != nil {
 		return err
 	}
-	return t2.Render(os.Stdout)
+	return t2.Render(w)
 }
 
 func withCSV(path string, csv func(w io.Writer) error) error {
@@ -200,14 +302,12 @@ func withCSV(path string, csv func(w io.Writer) error) error {
 	return csv(f)
 }
 
-func runFig9(args []string) error {
+func runFig9(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fig9", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 3000, true)
 	sizesFlag := fs.String("sizes", "4,8,16,32", "comma-separated port counts")
-	slots := fs.Uint64("slots", 3000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
-	csvPath := fs.String("csv", "", "also write CSV to this file")
 	perWord := fs.Bool("perword", false, "per-word buffer accounting")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,28 +315,15 @@ func runFig9(args []string) error {
 	if err != nil {
 		return err
 	}
-	model := core.PaperModel()
-	if *perWord {
-		model = core.PerWordBufferModel()
-	}
-	f9, err := exp.RunFig9(model, sizes, nil, simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	if err := f9.Render(os.Stdout); err != nil {
-		return err
-	}
-	return withCSV(*csvPath, f9.CSV)
+	return sf.emit(ctx, exp.Fig9Spec(modelSpec(*perWord), sizes, nil, sf.params()), w)
 }
 
-func runFig10(args []string) error {
+func runFig10(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fig10", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 3000, true)
 	sizesFlag := fs.String("sizes", "4,8,16,32", "comma-separated port counts")
 	load := fs.Float64("load", 0.5, "offered load")
-	slots := fs.Uint64("slots", 3000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
-	csvPath := fs.String("csv", "", "also write CSV to this file")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -244,56 +331,35 @@ func runFig10(args []string) error {
 	if err != nil {
 		return err
 	}
-	f10, err := exp.RunFig10(core.PaperModel(), sizes, *load, simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	if err := f10.Render(os.Stdout); err != nil {
-		return err
-	}
-	return withCSV(*csvPath, f10.CSV)
+	return sf.emit(ctx, exp.Fig10Spec(study.PaperModel(), sizes, *load, sf.params()), w)
 }
 
-func runCrossover(args []string) error {
+func runCrossover(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("crossover", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 2000, false)
 	ports := fs.Int("ports", 32, "fabric size")
-	slots := fs.Uint64("slots", 2000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
 	perWord := fs.Bool("perword", false, "per-word buffer accounting (recovers the paper's 35% crossover)")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	model := core.PaperModel()
-	if *perWord {
-		model = core.PerWordBufferModel()
-	}
-	c, err := exp.RunCrossover(model, *ports, nil, simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	return c.Render(os.Stdout)
+	return sf.emit(ctx, exp.CrossoverSpec(modelSpec(*perWord), *ports, nil, sf.params()), w)
 }
 
-func runSaturate(args []string) error {
+func runSaturate(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("saturate", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 3000, false)
 	ports := fs.Int("ports", 16, "fabric size")
-	slots := fs.Uint64("slots", 3000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := exp.RunSaturation(core.PaperModel(), *ports, simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	return s.Render(os.Stdout)
+	return sf.emit(ctx, exp.SaturationSpec(study.PaperModel(), *ports, sf.params()), w)
 }
 
-func runAblate(args []string) error {
+func runAblate(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
-	study := fs.String("study", "buffer", "buffer | fcwire | queue")
+	studyName := fs.String("study", "buffer", "buffer | fcwire | queue")
 	ports := fs.Int("ports", 16, "fabric size")
 	load := fs.Float64("load", 0.5, "offered load")
 	slots := fs.Uint64("slots", 2000, "measured slots per point")
@@ -302,41 +368,39 @@ func runAblate(args []string) error {
 		return err
 	}
 	p := simParams(*slots, *seed, 1)
-	switch *study {
+	switch *studyName {
 	case "buffer":
 		a, err := exp.RunBufferAblation(core.PaperModel(), *ports, *load, p)
 		if err != nil {
 			return err
 		}
-		return a.Render(os.Stdout)
+		return a.Render(w)
 	case "fcwire":
 		a, err := exp.RunFCWireAblation(core.PaperModel(), *ports, *load, p)
 		if err != nil {
 			return err
 		}
-		return a.Render(os.Stdout)
+		return a.Render(w)
 	case "queue":
 		a, err := exp.RunQueueAblation(core.PaperModel(), *ports, p)
 		if err != nil {
 			return err
 		}
-		return a.Render(os.Stdout)
+		return a.Render(w)
 	}
-	return fmt.Errorf("unknown study %q", *study)
+	return fmt.Errorf("unknown study %q", *studyName)
 }
 
-func runDPM(args []string) error {
+func runDPM(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dpm", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 3000, true)
 	policiesFlag := fs.String("policies", "", "comma-separated policies (default: alwayson,buffersleep,composite,idlegate,loaddvfs)")
 	archsFlag := fs.String("archs", "", "comma-separated architectures (default: all four)")
 	ports := fs.Int("ports", 16, "fabric size")
 	loadsFlag := fs.String("loads", "", "comma-separated offered loads (default 0.1,0.2,0.3,0.4,0.5)")
-	slots := fs.Uint64("slots", 3000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
-	csvPath := fs.String("csv", "", "also write CSV to this file")
 	perWord := fs.Bool("perword", false, "per-word buffer accounting")
 	noStatic := fs.Bool("nostatic", false, "zero static power: no idle/transition energy on the ledger (policies still gate admission, and loaddvfs still V²-scales dynamic energy)")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -348,26 +412,15 @@ func runDPM(args []string) error {
 	if err != nil {
 		return err
 	}
-	model := core.PaperModel()
-	if *perWord {
-		model = core.PerWordBufferModel()
-	}
-	if !*noStatic {
-		model.Static = core.DefaultStaticPower()
-	}
-	study, err := exp.RunDPMStudy(model, parseNames(*policiesFlag), archs, *ports, loads,
-		simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	if err := study.Render(os.Stdout); err != nil {
-		return err
-	}
-	return withCSV(*csvPath, study.CSV)
+	model := modelSpec(*perWord)
+	model.Static = !*noStatic
+	return sf.emit(ctx, exp.DPMSpec(model, parseNames(*policiesFlag), archs, *ports, loads, sf.params()), w)
 }
 
-func runNet(args []string) error {
+func runNet(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("net", flag.ExitOnError)
+	var sf sweepFlags
+	sf.register(fs, 3000, true)
 	toposFlag := fs.String("topos", "", "comma-separated topologies (default: chain,ring,star,fattree)")
 	nodes := fs.Int("nodes", 4, "topology size (for fattree: leaf count)")
 	routingsFlag := fs.String("routings", "", "comma-separated routing policies (default: shortest,consolidate)")
@@ -375,11 +428,7 @@ func runNet(args []string) error {
 	matrix := fs.String("matrix", "uniform", "traffic matrix: uniform | gravity | hotspot")
 	archName := fs.String("arch", "crossbar", "per-node fabric architecture")
 	loadsFlag := fs.String("loads", "", "comma-separated per-host offered loads (default 0.1,0.2,0.3,0.4,0.5)")
-	slots := fs.Uint64("slots", 3000, "measured slots per point")
-	seed := fs.Int64("seed", 1, "traffic seed")
-	csvPath := fs.String("csv", "", "also write CSV to this file")
 	noStatic := fs.Bool("nostatic", false, "zero static power: dynamic-only accounting (routing and gating still shape traffic)")
-	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -391,11 +440,9 @@ func runNet(args []string) error {
 	if err != nil {
 		return err
 	}
-	model := core.PaperModel()
-	if !*noStatic {
-		model.Static = core.DefaultStaticPower()
-	}
-	study, err := exp.RunNetworkStudy(model, exp.NetworkStudyOptions{
+	model := study.PaperModel()
+	model.Static = !*noStatic
+	spec := exp.NetSpec(model, exp.NetworkStudyOptions{
 		Arch:       arch,
 		Nodes:      *nodes,
 		Topologies: parseNames(*toposFlag),
@@ -403,23 +450,18 @@ func runNet(args []string) error {
 		Policies:   parseNames(*policiesFlag),
 		Loads:      loads,
 		Matrix:     *matrix,
-	}, simParams(*slots, *seed, *workers))
-	if err != nil {
-		return err
-	}
-	if err := study.Render(os.Stdout); err != nil {
-		return err
-	}
-	return withCSV(*csvPath, study.CSV)
+	}, sf.params())
+	return sf.emit(ctx, spec, w)
 }
 
-func runSimulate(args []string) error {
+func runSimulate(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	archName := fs.String("arch", "banyan", "crossbar | fullyconnected | banyan | batcherbanyan")
 	ports := fs.Int("ports", 16, "fabric size")
 	load := fs.Float64("load", 0.3, "offered load")
 	slots := fs.Uint64("slots", 3000, "measured slots")
 	seed := fs.Int64("seed", 1, "traffic seed")
+	printScenario := fs.Bool("print-scenario", false, "emit the equivalent scenario spec as JSON instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -427,17 +469,53 @@ func runSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := exp.RunPoint(core.PaperModel(), arch, *ports, *load, simParams(*slots, *seed, 1))
+	spec := exp.PointSpec(study.PaperModel(), arch, *ports, *load, simParams(*slots, *seed, 1))
+	if *printScenario {
+		return spec.Encode(w)
+	}
+	rep, err := exp.RunSpec(ctx, spec, 1)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s %d×%d at %.0f%% offered load (%d measured slots)\n",
-		arch, *ports, *ports, *load*100, res.Slots)
-	fmt.Printf("  throughput     : %.2f%%\n", res.Throughput*100)
-	fmt.Printf("  avg latency    : %.2f slots (max %d)\n", res.AvgLatencySlots, res.MaxLatencySlots)
-	fmt.Printf("  switch power   : %.4f mW\n", res.Power.SwitchMW)
-	fmt.Printf("  buffer power   : %.4f mW (%d buffering events)\n", res.Power.BufferMW, res.BufferEvents)
-	fmt.Printf("  wire power     : %.4f mW\n", res.Power.WireMW)
-	fmt.Printf("  total power    : %.4f mW\n", res.Power.TotalMW())
-	return nil
+	return rep.Render(w)
+}
+
+// runSpecFile executes a declarative spec from a JSON file (or stdin
+// with "-"): the `run` side of the -print-scenario round trip.
+func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
+	csvPath := fs.String("csv", "", "also write CSV to this file (study kinds with a CSV form)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// flag stops at the first positional, so accept flags on either
+	// side of the spec path: re-parse whatever follows it.
+	rest := fs.Args()
+	if len(rest) > 1 {
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 0 {
+			return fmt.Errorf("run: want exactly one spec path (or '-' for stdin), got %d", 1+fs.NArg())
+		}
+		rest = rest[:1]
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("run: want exactly one spec path (or '-' for stdin), got %d", len(rest))
+	}
+	var r io.Reader = os.Stdin
+	if path := rest[0]; path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spec, err := study.DecodeSpec(r)
+	if err != nil {
+		return err
+	}
+	return runAndRender(ctx, spec, *workers, *csvPath, w)
 }

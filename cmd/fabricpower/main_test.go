@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,20 +84,12 @@ func TestParseArchs(t *testing.T) {
 // and checks the CSV side channel carries every point.
 func TestRunNetTiny(t *testing.T) {
 	csv := filepath.Join(t.TempDir(), "net.csv")
-	// Silence the rendered table: the test only asserts the CSV.
-	old := os.Stdout
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = null
-	err = runNet([]string{
+	// Discard the rendered table: the test only asserts the CSV.
+	err := runNet(context.Background(), []string{
 		"-topos", "fattree", "-nodes", "4",
 		"-routings", "shortest,consolidate", "-policies", "alwayson,idlegate",
 		"-loads", "0.1", "-slots", "400", "-csv", csv,
-	})
-	os.Stdout = old
-	null.Close()
+	}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +107,79 @@ func TestRunNetTiny(t *testing.T) {
 }
 
 func TestRunNetRejectsBadFlags(t *testing.T) {
-	if err := runNet([]string{"-topos", "moebius"}); err == nil {
+	ctx := context.Background()
+	if err := runNet(ctx, []string{"-topos", "moebius", "-loads", "0.1", "-slots", "50"}, io.Discard); err == nil {
 		t.Error("unknown topology should fail")
 	}
-	if err := runNet([]string{"-arch", "toroidal"}); err == nil {
+	if err := runNet(ctx, []string{"-arch", "toroidal"}, io.Discard); err == nil {
 		t.Error("unknown architecture should fail")
 	}
-	if err := runNet([]string{"-matrix", "chaos", "-topos", "ring"}); err == nil {
+	if err := runNet(ctx, []string{"-matrix", "chaos", "-topos", "ring", "-loads", "0.1", "-slots", "50"}, io.Discard); err == nil {
 		t.Error("unknown matrix should fail")
+	}
+}
+
+// TestPrintScenarioRoundTripByteIdentical pins the acceptance
+// contract of the declarative layer: for every legacy study
+// subcommand, `<subcmd> -print-scenario | run -` reproduces the
+// subcommand's output byte for byte.
+func TestPrintScenarioRoundTripByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"fig9", []string{"-sizes", "4", "-slots", "150"}},
+		{"fig10", []string{"-sizes", "4,8", "-slots", "150"}},
+		{"crossover", []string{"-ports", "8", "-slots", "120", "-perword"}},
+		{"saturate", []string{"-ports", "8", "-slots", "120"}},
+		{"simulate", []string{"-arch", "banyan", "-ports", "8", "-load", "0.3", "-slots", "200"}},
+		{"dpm", []string{"-archs", "banyan", "-ports", "8", "-loads", "0.1", "-slots", "200"}},
+		{"net", []string{"-topos", "ring", "-nodes", "4", "-loads", "0.1", "-slots", "200"}},
+		{"table1", []string{"-cycles", "24", "-width", "8"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.cmd, func(t *testing.T) {
+			var legacy strings.Builder
+			if err := dispatch(ctx, tc.cmd, tc.args, &legacy); err != nil {
+				t.Fatal(err)
+			}
+			var spec strings.Builder
+			if err := dispatch(ctx, tc.cmd, append(append([]string{}, tc.args...), "-print-scenario"), &spec); err != nil {
+				t.Fatal(err)
+			}
+			specPath := filepath.Join(t.TempDir(), "spec.json")
+			if err := os.WriteFile(specPath, []byte(spec.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var viaSpec strings.Builder
+			if err := dispatch(ctx, "run", []string{specPath}, &viaSpec); err != nil {
+				t.Fatal(err)
+			}
+			if legacy.String() != viaSpec.String() {
+				t.Fatalf("printed-scenario run diverged from the legacy subcommand:\n--- legacy ---\n%s\n--- via spec ---\n%s",
+					legacy.String(), viaSpec.String())
+			}
+		})
+	}
+}
+
+// TestRunRejectsBadSpecs: the run subcommand surfaces decode errors.
+func TestRunRejectsBadSpecs(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"study": "fig9", "base": {"farbic": {}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(ctx, "run", []string{bad}, io.Discard); err == nil {
+		t.Error("unknown field should fail")
+	}
+	if err := dispatch(ctx, "run", []string{filepath.Join(dir, "missing.json")}, io.Discard); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := dispatch(ctx, "run", nil, io.Discard); err == nil {
+		t.Error("missing path should fail")
 	}
 }
 

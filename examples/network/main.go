@@ -28,16 +28,15 @@ import (
 	"log"
 	"os"
 
-	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
+	fpstudy "fabricpower/study"
 )
 
 func main() {
 	slots := flag.Uint64("slots", 3000, "measured slots per operating point")
 	flag.Parse()
 
-	model := core.PaperModel()
-	model.Static = core.DefaultStaticPower()
+	model := fpstudy.ModelSpec{Static: true}
 
 	fmt.Println("Fat-tree backbone (2 spines + 4 leaves) with static power attached")
 	fmt.Println()
@@ -60,9 +59,9 @@ func main() {
 	base, _ := study.Point("fattree", "shortest", "alwayson", 0.10)
 	gate, _ := study.Point("fattree", "shortest", "idlegate", 0.10)
 	green, _ := study.Point("fattree", "consolidate", "idlegate", 0.10)
-	baseMW := base.Report.Total.TotalMW()
-	gateMW := gate.Report.Total.TotalMW()
-	greenMW := green.Report.Total.TotalMW()
+	baseMW := base.Result.Power.TotalMW()
+	gateMW := gate.Result.Power.TotalMW()
+	greenMW := green.Result.Power.TotalMW()
 	fmt.Println()
 	fmt.Printf("At 10%% load the spread-and-always-on network draws %.2f mW.\n", baseMW)
 	fmt.Printf("Gating alone reaches %.2f mW (%.0f%% saved): spread traffic keeps waking spine ports.\n",
@@ -70,5 +69,5 @@ func main() {
 	fmt.Printf("Consolidating first reaches %.2f mW (%.0f%% saved) — one spine carries everything\n",
 		greenMW, 100*(1-greenMW/baseMW))
 	fmt.Printf("while the other idles its way to the gated floor, at +%.2f slots of latency.\n",
-		green.Report.AvgLatencySlots-base.Report.AvgLatencySlots)
+		green.Result.AvgLatencySlots-base.Result.AvgLatencySlots)
 }

@@ -26,14 +26,14 @@ import (
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
+	fpstudy "fabricpower/study"
 )
 
 func main() {
 	slots := flag.Uint64("slots", 3000, "measured slots per operating point")
 	flag.Parse()
 
-	model := core.PaperModel()
-	model.Static = core.DefaultStaticPower()
+	model := fpstudy.ModelSpec{Static: true}
 
 	fmt.Println("16×16 Banyan with static power attached (leakage + clock trees)")
 	fmt.Println()

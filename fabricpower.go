@@ -29,10 +29,12 @@ import (
 	"fmt"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
 	"fabricpower/internal/fabric"
 	"fabricpower/internal/packet"
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/tech"
 	"fabricpower/internal/traffic"
 )
 
@@ -99,6 +101,16 @@ func (m Model) WithBufferAccesses(n int) (Model, error) {
 	return out, nil
 }
 
+// WithStaticPower attaches the default static-power model (leakage and
+// clock trees) so a power-managed simulation (Options.DPM) has idle
+// power to save and Report.StaticMW is non-zero. Without it the model
+// reproduces the paper's dynamic-only accounting.
+func (m Model) WithStaticPower() Model {
+	out := m
+	out.m.Static = core.DefaultStaticPower()
+	return out
+}
+
 // BitEnergy is a per-component energy breakdown in femtojoules.
 type BitEnergy struct {
 	SwitchFJ float64
@@ -149,17 +161,37 @@ type Options struct {
 	// MeanBurstSlots tunes BurstyTraffic (default 10).
 	MeanBurstSlots float64
 	// HotspotPort and HotspotFraction tune HotspotTraffic (defaults 0
-	// and 0.3).
+	// and 0.3). A zero HotspotFraction alone selects the 0.3 default;
+	// set ZeroHotspotFraction to make the zero literal.
 	HotspotPort     int
 	HotspotFraction float64
+	// ZeroHotspotFraction makes HotspotFraction: 0 literal — a hotspot
+	// source that sends nothing extra to the hotspot (pure uniform).
+	// The escape hatch exists because the zero value otherwise means
+	// "unset, use the default".
+	ZeroHotspotFraction bool
 	// UseVOQ replaces the paper's FIFO ingress with virtual output
 	// queues and iSLIP matching (extension).
 	UseVOQ bool
 	// WarmupSlots and MeasureSlots bound the run (defaults 300/3000).
+	// A zero WarmupSlots alone selects the 300-slot default; set
+	// NoWarmup to measure from slot 0 with cold queues and pipelines.
 	WarmupSlots  uint64
 	MeasureSlots uint64
-	// Seed makes the run deterministic (default 1).
+	// NoWarmup makes WarmupSlots: 0 literal (see WarmupSlots).
+	NoWarmup bool
+	// Seed makes the run deterministic (default 1). A zero Seed alone
+	// selects the default; set ZeroSeed to run on seed 0 itself.
 	Seed int64
+	// ZeroSeed makes Seed: 0 literal (see Seed).
+	ZeroSeed bool
+	// DPM names a dynamic power-management policy ("alwayson",
+	// "idlegate", "buffersleep", "loaddvfs", "composite", or a policy
+	// registered through the study package) to drive the router.
+	// Combine with Model.WithStaticPower for the policy to have idle
+	// power to save; the ledger lands in Report.StaticMW and
+	// Report.DPM. Empty means the paper's unmanaged router.
+	DPM string
 	// Model overrides the bit-energy model (default DefaultModel).
 	Model *Model
 }
@@ -171,16 +203,16 @@ func (o Options) withDefaults() Options {
 	if o.MeanBurstSlots == 0 {
 		o.MeanBurstSlots = 10
 	}
-	if o.HotspotFraction == 0 {
+	if o.HotspotFraction == 0 && !o.ZeroHotspotFraction {
 		o.HotspotFraction = 0.3
 	}
-	if o.WarmupSlots == 0 {
+	if o.WarmupSlots == 0 && !o.NoWarmup {
 		o.WarmupSlots = 300
 	}
 	if o.MeasureSlots == 0 {
 		o.MeasureSlots = 3000
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.ZeroSeed {
 		o.Seed = 1
 	}
 	return o
@@ -194,11 +226,16 @@ type Report struct {
 	// AvgLatencySlots and MaxLatencySlots summarize cell latency.
 	AvgLatencySlots float64
 	MaxLatencySlots uint64
-	// SwitchMW, BufferMW and WireMW break down the fabric power;
-	// TotalMW sums them.
+	// SwitchMW, BufferMW and WireMW break down the fabric's dynamic
+	// power; StaticMW is the always-on (leakage + clock) power drawn
+	// over the window, including state-transition overhead — zero
+	// unless the run carried a power manager over a model with static
+	// power attached (Options.DPM + Model.WithStaticPower). TotalMW
+	// sums all four.
 	SwitchMW float64
 	BufferMW float64
 	WireMW   float64
+	StaticMW float64
 	// EnergyPerBitFJ is the measured average fabric energy per delivered
 	// bit — directly comparable to Analytic's worst case.
 	EnergyPerBitFJ float64
@@ -206,10 +243,34 @@ type Report struct {
 	BufferEvents uint64
 	// DroppedCells counts ingress overflows (0 with unbounded queues).
 	DroppedCells uint64
+	// DPM is the power manager's state ledger over the measured
+	// window; nil when Options.DPM was empty.
+	DPM *DPMStats
 }
 
-// TotalMW sums the power components.
-func (r Report) TotalMW() float64 { return r.SwitchMW + r.BufferMW + r.WireMW }
+// DPMStats summarizes what the power-management policy did over the
+// measured window.
+type DPMStats struct {
+	// Policy names the deciding policy.
+	Policy string
+	// GatedPortSlots counts port-slots spent clock-gated; DrowsySlots
+	// slots the SRAM spent drowsy; StalledSlots slots DVFS throttling
+	// or transition freezes blocked admission.
+	GatedPortSlots uint64
+	DrowsySlots    uint64
+	StalledSlots   uint64
+	// Transitions, WakeEvents and DVFSShifts count state changes.
+	Transitions uint64
+	WakeEvents  uint64
+	DVFSShifts  uint64
+	// SavedMW is the net power the policy saved against the always-on
+	// static ledger (forgone idle power minus transition cost, plus
+	// DVFS dynamic savings).
+	SavedMW float64
+}
+
+// TotalMW sums the power components, static included.
+func (r Report) TotalMW() float64 { return r.SwitchMW + r.BufferMW + r.WireMW + r.StaticMW }
 
 // Simulate runs the bit-accurate simulation platform on one operating
 // point and reports measured throughput, latency and power.
@@ -224,7 +285,24 @@ func Simulate(opt Options) (Report, error) {
 	if opt.UseVOQ {
 		queue = router.VOQ
 	}
-	r, err := router.New(router.Config{
+	var mgr *dpm.Manager
+	if opt.DPM != "" {
+		pol, err := dpm.NewPolicy(opt.DPM)
+		if err != nil {
+			return Report{}, err
+		}
+		mgr, err = dpm.New(dpm.Config{
+			Arch:     opt.Architecture.core(),
+			Ports:    opt.Ports,
+			Model:    model,
+			CellBits: opt.CellBits,
+			Policy:   pol,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	rcfg := router.Config{
 		Arch: opt.Architecture.core(),
 		Fabric: fabric.Config{
 			Ports: opt.Ports,
@@ -232,7 +310,11 @@ func Simulate(opt Options) (Report, error) {
 			Model: model,
 		},
 		Queue: queue,
-	})
+	}
+	if mgr != nil {
+		rcfg.Gate = mgr
+	}
+	r, err := router.New(rcfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -253,7 +335,9 @@ func Simulate(opt Options) (Report, error) {
 	}
 	res, err := sim.Run(r, gen, model.Tech, opt.CellBits, sim.Options{
 		WarmupSlots:  opt.WarmupSlots,
+		NoWarmup:     opt.NoWarmup,
 		MeasureSlots: opt.MeasureSlots,
+		DPM:          mgr,
 	})
 	if err != nil {
 		return Report{}, err
@@ -265,12 +349,26 @@ func Simulate(opt Options) (Report, error) {
 		SwitchMW:        res.Power.SwitchMW,
 		BufferMW:        res.Power.BufferMW,
 		WireMW:          res.Power.WireMW,
+		StaticMW:        res.Power.StaticMW,
 		BufferEvents:    res.BufferEvents,
 		DroppedCells:    res.DroppedCells,
 	}
 	deliveredBits := res.Throughput * float64(opt.Ports) * float64(res.Slots) * float64(opt.CellBits)
 	if deliveredBits > 0 {
 		rep.EnergyPerBitFJ = res.Energy.TotalFJ() / deliveredBits
+	}
+	if d := res.DPM; d != nil {
+		stats := &DPMStats{
+			Policy:         d.Policy,
+			GatedPortSlots: d.GatedPortSlots,
+			DrowsySlots:    d.DrowsySlots,
+			StalledSlots:   d.StalledSlots,
+			Transitions:    d.Transitions,
+			WakeEvents:     d.WakeEvents,
+			DVFSShifts:     d.DVFSShifts,
+		}
+		stats.SavedMW = tech.PowerMW(d.SavedFJ(), float64(res.Slots)*model.Tech.CellTimeNS(opt.CellBits))
+		rep.DPM = stats
 	}
 	return rep, nil
 }

@@ -138,6 +138,105 @@ func TestSimulateVOQOption(t *testing.T) {
 	}
 }
 
+// TestOptionsExplicitZeros pins the unset-vs-zero escape hatches: the
+// zero value of each trapped field selects the documented default, and
+// the matching bool makes the zero literal.
+func TestOptionsExplicitZeros(t *testing.T) {
+	d := Options{}.withDefaults()
+	if d.WarmupSlots != 300 || d.Seed != 1 || d.HotspotFraction != 0.3 {
+		t.Fatalf("defaults: %+v", d)
+	}
+	e := Options{NoWarmup: true, ZeroSeed: true, ZeroHotspotFraction: true}.withDefaults()
+	if e.WarmupSlots != 0 {
+		t.Fatalf("NoWarmup should keep WarmupSlots at 0, got %d", e.WarmupSlots)
+	}
+	if e.Seed != 0 {
+		t.Fatalf("ZeroSeed should keep Seed at 0, got %d", e.Seed)
+	}
+	if e.HotspotFraction != 0 {
+		t.Fatalf("ZeroHotspotFraction should keep the fraction at 0, got %g", e.HotspotFraction)
+	}
+	// A zero-fraction hotspot is a uniform source: it must run and
+	// deliver (the old defaulting silently rewrote it to 0.3).
+	rep, err := Simulate(Options{
+		Architecture: Crossbar, Ports: 8, OfferedLoad: 0.3,
+		Traffic: HotspotTraffic, ZeroHotspotFraction: true,
+		MeasureSlots: 400, WarmupSlots: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("zero-fraction hotspot should still carry traffic")
+	}
+	// NoWarmup measures from slot 0: cold queues lower early throughput
+	// relative to the same run with warmup, and the run must not apply
+	// the 300-slot default silently.
+	cold, err := Simulate(Options{
+		Architecture: Crossbar, Ports: 8, OfferedLoad: 0.3,
+		NoWarmup: true, MeasureSlots: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.TotalMW() <= 0 {
+		t.Fatal("cold-start run should still measure")
+	}
+}
+
+// TestSimulateDPMReport pins the public DPM surface: a managed run over
+// a static model reports StaticMW and the policy ledger, and idle
+// gating at low load undercuts the always-on total.
+func TestSimulateDPMReport(t *testing.T) {
+	model := DefaultModel().WithStaticPower()
+	base := Options{
+		Architecture: Banyan, Ports: 16, OfferedLoad: 0.1,
+		MeasureSlots: 1500, WarmupSlots: 200, Model: &model,
+	}
+	always := base
+	always.DPM = "alwayson"
+	alwaysRep, err := Simulate(always)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alwaysRep.StaticMW <= 0 {
+		t.Fatal("static model + manager should report StaticMW")
+	}
+	if alwaysRep.DPM == nil || alwaysRep.DPM.Policy != "alwayson" {
+		t.Fatalf("managed run should carry the policy ledger, got %+v", alwaysRep.DPM)
+	}
+	if alwaysRep.TotalMW() <= alwaysRep.SwitchMW+alwaysRep.BufferMW+alwaysRep.WireMW {
+		t.Fatal("TotalMW must include StaticMW")
+	}
+	gated := base
+	gated.DPM = "idlegate"
+	gatedRep, err := Simulate(gated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gatedRep.DPM.GatedPortSlots == 0 {
+		t.Fatal("idlegate at 10% load should gate port-slots")
+	}
+	if gatedRep.DPM.SavedMW <= 0 {
+		t.Fatal("idlegate should report positive net savings")
+	}
+	if gatedRep.TotalMW() >= alwaysRep.TotalMW() {
+		t.Fatalf("idlegate total %.4f mW should undercut alwayson %.4f mW",
+			gatedRep.TotalMW(), alwaysRep.TotalMW())
+	}
+	// Unmanaged runs must stay ledger-free with zero static power.
+	plain, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DPM != nil || plain.StaticMW != 0 {
+		t.Fatalf("unmanaged run should have no DPM ledger, got %+v", plain)
+	}
+	if _, err := Simulate(func() Options { o := base; o.DPM = "perpetualmotion"; return o }()); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
 func TestModelDerivations(t *testing.T) {
 	m, err := DefaultModel().WithTechScaling(0.72, 0.55)
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,6 +14,7 @@ import (
 	"fabricpower/internal/sweep"
 	"fabricpower/internal/tech"
 	"fabricpower/internal/traffic"
+	"fabricpower/study"
 )
 
 // DPMPoint is one operating point of the power-management study: a
@@ -22,7 +24,7 @@ type DPMPoint struct {
 	Arch   core.Architecture
 	Ports  int
 	Load   float64
-	Result sim.Result
+	Result study.Result
 }
 
 // DPMStudy is the policy × architecture × load grid with the paper-style
@@ -87,54 +89,51 @@ func RunDPMPoint(model core.Model, policy string, arch core.Architecture, ports 
 	})
 }
 
-// dpmItem is one sweep-engine work item of the study grid.
-type dpmItem struct {
-	policy string
-	pt     sweep.Point
+// RunDPMStudy sweeps the policy × architecture × load grid at one
+// fabric size: the DPMSpec scenario grid on the sweep engine
+// (p.Workers goroutines, bit-identical results for any worker count).
+// Defaults: every available policy, all four architectures, 16 ports,
+// the paper's 10–50% loads. Set model.Static for idle power to manage;
+// without it the study degenerates to the paper's dynamic-only numbers.
+func RunDPMStudy(model study.ModelSpec, policies []string, archs []core.Architecture, ports int, loads []float64, p SimParams) (*DPMStudy, error) {
+	return dpmFromSpec(context.Background(), DPMSpec(model, policies, archs, ports, loads, p), p.Workers)
 }
 
-// RunDPMStudy sweeps the policy × architecture × load grid at one
-// fabric size on the sweep engine (p.Workers goroutines, bit-identical
-// results for any worker count). Defaults: every built-in policy, all
-// four architectures, 16 ports, the paper's 10–50% loads. The model's
-// Static field supplies the idle-power parameters; with a zero static
-// model the study degenerates to the paper's dynamic-only numbers.
-func RunDPMStudy(model core.Model, policies []string, archs []core.Architecture, ports int, loads []float64, p SimParams) (*DPMStudy, error) {
-	if len(policies) == 0 {
-		policies = dpm.PolicyNames()
-	}
-	if len(archs) == 0 {
-		archs = core.Architectures()
-	}
-	if ports == 0 {
-		ports = 16
-	}
-	if len(loads) == 0 {
-		loads = DefaultLoads()
-	}
-	items := make([]dpmItem, 0, len(policies)*len(archs)*len(loads))
-	for _, pol := range policies {
-		for _, arch := range archs {
-			for _, load := range loads {
-				pt := sweep.Point{Arch: arch, Ports: ports, Load: load}
-				if batcherFeasible(pt) {
-					items = append(items, dpmItem{policy: pol, pt: pt})
-				}
-			}
-		}
-	}
-	results, err := sweep.Map(p.Workers, items, func(_ int, it dpmItem) (sim.Result, error) {
-		return RunDPMPoint(model, it.policy, it.pt.Arch, it.pt.Ports, it.pt.Load, p, nil)
-	})
+// dpmFromSpec runs the grid and shapes the results into the study.
+func dpmFromSpec(ctx context.Context, spec study.Spec, workers int) (*DPMStudy, error) {
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	s := &DPMStudy{Ports: ports, Policies: policies, Archs: archs, Loads: loads,
-		SlotNS: model.Tech.CellTimeNS(p.WithDefaults().CellBits),
-		Points: make([]DPMPoint, len(items))}
-	for i, it := range items {
-		s.Points[i] = DPMPoint{Policy: it.policy, Arch: it.pt.Arch, Ports: ports,
-			Load: it.pt.Load, Result: results[i]}
+	base := spec.Base.Resolved()
+	archs, err := parseArchs(axisStrings(spec.Axes, "arch", []string{base.Fabric.Arch}))
+	if err != nil {
+		return nil, err
+	}
+	model, err := base.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	s := &DPMStudy{
+		Ports:    base.Fabric.Ports,
+		Policies: axisStrings(spec.Axes, "dpm", []string{base.DPM}),
+		Archs:    archs,
+		Loads:    axisFloats(spec.Axes, "load", []float64{base.Traffic.Load}),
+		SlotNS:   model.Tech.CellTimeNS(base.Fabric.CellBits),
+		Points:   make([]DPMPoint, len(gr.Points)),
+	}
+	for i, pt := range gr.Points {
+		arch, err := core.ParseArchitecture(pt.Scenario.Fabric.Arch)
+		if err != nil {
+			return nil, err
+		}
+		s.Points[i] = DPMPoint{
+			Policy: pt.Scenario.DPM,
+			Arch:   arch,
+			Ports:  pt.Scenario.Fabric.Ports,
+			Load:   pt.Scenario.Traffic.Load,
+			Result: pt.Result,
+		}
 	}
 	return s, nil
 }
@@ -149,9 +148,9 @@ func (s *DPMStudy) Point(policy string, arch core.Architecture, load float64) (D
 	return DPMPoint{}, false
 }
 
-// SavedMW converts a point's net ledger saving (Report.SavedFJ) into
-// milliwatts over the measured window.
-func (s *DPMStudy) SavedMW(r sim.Result) float64 {
+// SavedMW converts a point's net ledger saving (DPMReport.SavedFJ)
+// into milliwatts over the measured window.
+func (s *DPMStudy) SavedMW(r study.Result) float64 {
 	if r.DPM == nil || r.Slots == 0 || s.SlotNS <= 0 {
 		return 0
 	}
@@ -217,7 +216,7 @@ func (s *DPMStudy) CSV(w io.Writer) error {
 	var rows [][]string
 	for _, pt := range s.Points {
 		r := pt.Result
-		var d dpm.Report
+		var d study.DPMReport
 		if r.DPM != nil {
 			d = *r.DPM
 		}

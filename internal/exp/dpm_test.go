@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fabricpower/internal/core"
+	"fabricpower/study"
 )
 
 func dpmModel() core.Model {
@@ -14,6 +15,9 @@ func dpmModel() core.Model {
 	m.Static = core.DefaultStaticPower()
 	return m
 }
+
+// dpmSpec is dpmModel in declarative form, for the study-level runners.
+func dpmSpec() study.ModelSpec { return study.ModelSpec{Static: true} }
 
 // TestAlwaysOnZeroStaticBitIdentical pins the acceptance contract: an
 // AlwaysOn manager over the paper's zero-static model reproduces
@@ -82,12 +86,11 @@ func TestIdleGateBeatsAlwaysOnLowLoad(t *testing.T) {
 // per point, so fanning the grid across workers must be bit-identical
 // to the sequential run.
 func TestDPMStudyParallelDeterminism(t *testing.T) {
-	model := dpmModel()
 	archs := []core.Architecture{core.Crossbar, core.Banyan}
 	loads := []float64{0.1, 0.4}
 	run := func(workers int) *DPMStudy {
 		t.Helper()
-		s, err := RunDPMStudy(model, nil, archs, 8, loads,
+		s, err := RunDPMStudy(dpmSpec(), nil, archs, 8, loads,
 			SimParams{WarmupSlots: 60, MeasureSlots: 300, Seed: 11, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
@@ -104,7 +107,7 @@ func TestDPMStudyParallelDeterminism(t *testing.T) {
 
 // TestDPMStudyRenderAndCSV smoke-tests the reporting paths.
 func TestDPMStudyRenderAndCSV(t *testing.T) {
-	s, err := RunDPMStudy(dpmModel(), []string{"alwayson", "idlegate"},
+	s, err := RunDPMStudy(dpmSpec(), []string{"alwayson", "idlegate"},
 		[]core.Architecture{core.Banyan}, 8, []float64{0.1},
 		SimParams{WarmupSlots: 50, MeasureSlots: 200, Seed: 3, Workers: 1})
 	if err != nil {
@@ -134,7 +137,7 @@ func TestDPMStudyRenderAndCSV(t *testing.T) {
 // TestDPMStudySkipsInfeasibleBatcher mirrors the figure runners' grid
 // filtering.
 func TestDPMStudySkipsInfeasibleBatcher(t *testing.T) {
-	s, err := RunDPMStudy(dpmModel(), []string{"alwayson"},
+	s, err := RunDPMStudy(dpmSpec(), []string{"alwayson"},
 		[]core.Architecture{core.BatcherBanyan}, 2, []float64{0.2},
 		SimParams{WarmupSlots: 20, MeasureSlots: 50, Seed: 1, Workers: 1})
 	if err != nil {

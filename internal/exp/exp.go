@@ -2,9 +2,17 @@
 // and figure of the paper's evaluation, plus the accounting ablations.
 // Each runner returns a structured result with Render (text report), and
 // where applicable CSV, so the CLI, the tests and the benchmarks share
-// one implementation. Sweep-shaped runners fan their operating points
-// across worker goroutines (SimParams.Workers) with results bit-identical
-// to a sequential run — see internal/sweep.
+// one implementation.
+//
+// Every study-level runner is a thin scenario-grid construction over the
+// declarative study layer: a Spec constructor describes the experiment
+// as a study.Grid (see Fig9Spec and friends in spec.go), the grid runs
+// on the deterministic sweep engine (SimParams.Workers goroutines,
+// results bit-identical to a sequential run — see internal/sweep), and
+// an assembly step shapes the results into the report struct. RunSpec
+// dispatches a decoded spec to the same paths, which is what makes
+// `fabricpower <subcmd> -print-scenario | fabricpower run -` reproduce
+// the subcommand byte for byte.
 //
 // Experiment index:
 //
@@ -96,21 +104,6 @@ func RunPoint(model core.Model, arch core.Architecture, ports int, load float64,
 		WarmupSlots:  p.WarmupSlots,
 		MeasureSlots: p.MeasureSlots,
 	})
-}
-
-// runPoints evaluates the operating points with the sweep engine: fanned
-// across p.Workers goroutines, results in point order regardless of the
-// worker count.
-func runPoints(model core.Model, pts []sweep.Point, p SimParams) ([]sim.Result, error) {
-	return sweep.Map(p.Workers, pts, func(_ int, pt sweep.Point) (sim.Result, error) {
-		return RunPoint(model, pt.Arch, pt.Ports, pt.Load, p)
-	})
-}
-
-// batcherFeasible rejects the one infeasible grid corner: Batcher-Banyan
-// needs N ≥ 4.
-func batcherFeasible(pt sweep.Point) bool {
-	return pt.Arch != core.BatcherBanyan || pt.Ports >= 4
 }
 
 // DefaultSizes returns the paper's port configurations (4×4 … 32×32).

@@ -7,6 +7,7 @@ import (
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/router"
+	"fabricpower/study"
 )
 
 // quickParams keeps test runtime low while leaving enough slots for
@@ -52,7 +53,7 @@ func TestDefaults(t *testing.T) {
 
 func fig9ForTest(t *testing.T) *Fig9 {
 	t.Helper()
-	f, err := RunFig9(core.PaperModel(), []int{4, 16}, []float64{0.1, 0.3, 0.5}, quickParams())
+	f, err := RunFig9(study.PaperModel(), []int{4, 16}, []float64{0.1, 0.3, 0.5}, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestFig9RenderAndCSV(t *testing.T) {
 // vs Batcher-Banyan gap decreases monotonically with port count (paper:
 // 37% -> 20%; our constants give larger magnitudes, same direction).
 func TestFig10GapNarrows(t *testing.T) {
-	f, err := RunFig10(core.PaperModel(), []int{4, 8, 16, 32}, 0.5, quickParams())
+	f, err := RunFig10(study.PaperModel(), []int{4, 8, 16, 32}, 0.5, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFig10GapNarrows(t *testing.T) {
 // TestFig10PowerGrowsWithPorts: every architecture's power rises with N
 // at fixed load.
 func TestFig10PowerGrowsWithPorts(t *testing.T) {
-	f, err := RunFig10(core.PaperModel(), []int{4, 16}, 0.5, quickParams())
+	f, err := RunFig10(study.PaperModel(), []int{4, 16}, 0.5, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestFig10PowerGrowsWithPorts(t *testing.T) {
 // the Banyan is the cheapest 32×32 fabric at 30% load (§6 obs. 1's
 // crossover regime).
 func TestCrossoverPerWordAccounting(t *testing.T) {
-	c, err := RunCrossover(core.PerWordBufferModel(), 32, []float64{0.10, 0.30}, quickParams())
+	c, err := RunCrossover(study.PerWordModel(), 32, []float64{0.10, 0.30}, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestCrossoverPerWordAccounting(t *testing.T) {
 // buffer penalty moves the crossover to very low loads, and Banyan is no
 // longer cheapest at 30%.
 func TestCrossoverPerBitAccounting(t *testing.T) {
-	c, err := RunCrossover(core.PaperModel(), 32, []float64{0.02, 0.30}, quickParams())
+	c, err := RunCrossover(study.PaperModel(), 32, []float64{0.02, 0.30}, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestCrossoverPerBitAccounting(t *testing.T) {
 
 // TestSaturationCeiling reproduces the input-buffering limit.
 func TestSaturationCeiling(t *testing.T) {
-	s, err := RunSaturation(core.PaperModel(), 16, quickParams())
+	s, err := RunSaturation(study.PaperModel(), 16, quickParams())
 	if err != nil {
 		t.Fatal(err)
 	}

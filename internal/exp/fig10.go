@@ -1,20 +1,20 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/plot"
-	"fabricpower/internal/sim"
-	"fabricpower/internal/sweep"
+	"fabricpower/study"
 )
 
 // Fig10Point is one bar of Fig. 10.
 type Fig10Point struct {
 	Arch   core.Architecture
 	Ports  int
-	Result sim.Result
+	Result study.Result
 }
 
 // Fig10 holds the power-vs-ports comparison at a fixed 50% traffic
@@ -26,23 +26,30 @@ type Fig10 struct {
 	Points []Fig10Point
 }
 
-// RunFig10 regenerates Fig. 10 at the given load (the paper uses 50%),
-// with the points fanned across p.Workers goroutines.
-func RunFig10(model core.Model, sizes []int, load float64, p SimParams) (*Fig10, error) {
-	if len(sizes) == 0 {
-		sizes = DefaultSizes()
-	}
-	if load <= 0 {
-		load = 0.5
-	}
-	pts := sweep.Grid(sizes, core.Architectures(), []float64{load}, batcherFeasible)
-	results, err := runPoints(model, pts, p)
+// RunFig10 regenerates Fig. 10 at the given load (the paper uses 50%):
+// the Fig10Spec scenario grid run with p.Workers goroutines.
+func RunFig10(model study.ModelSpec, sizes []int, load float64, p SimParams) (*Fig10, error) {
+	return fig10FromSpec(context.Background(), Fig10Spec(model, sizes, load, p), p.Workers)
+}
+
+// fig10FromSpec runs the grid and shapes the results into the figure.
+func fig10FromSpec(ctx context.Context, spec study.Spec, workers int) (*Fig10, error) {
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	f := &Fig10{Load: load, Sizes: sizes, Points: make([]Fig10Point, len(pts))}
-	for i, pt := range pts {
-		f.Points[i] = Fig10Point{Arch: pt.Arch, Ports: pt.Ports, Result: results[i]}
+	base := spec.Base.Resolved()
+	f := &Fig10{
+		Load:   base.Traffic.Load,
+		Sizes:  axisInts(spec.Axes, "ports", []int{base.Fabric.Ports}),
+		Points: make([]Fig10Point, len(gr.Points)),
+	}
+	for i, pt := range gr.Points {
+		arch, err := core.ParseArchitecture(pt.Scenario.Fabric.Arch)
+		if err != nil {
+			return nil, err
+		}
+		f.Points[i] = Fig10Point{Arch: arch, Ports: pt.Scenario.Fabric.Ports, Result: pt.Result}
 	}
 	return f, nil
 }

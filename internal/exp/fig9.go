@@ -1,13 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/plot"
-	"fabricpower/internal/sim"
-	"fabricpower/internal/sweep"
+	"fabricpower/study"
 )
 
 // Fig9Point is one simulated operating point of Fig. 9.
@@ -15,7 +15,7 @@ type Fig9Point struct {
 	Arch    core.Architecture
 	Ports   int
 	Offered float64
-	Result  sim.Result
+	Result  study.Result
 }
 
 // Fig9 holds the full sweep: power consumption under different traffic
@@ -29,23 +29,36 @@ type Fig9 struct {
 // RunFig9 regenerates Fig. 9: for each port configuration and offered
 // load (10–50%), measure the power of all four architectures under the
 // same Bernoulli uniform traffic with input buffering and the FCFS-RR
-// arbiter. The points run on the sweep engine, fanned across p.Workers
-// goroutines with deterministic, order-preserving results.
-func RunFig9(model core.Model, sizes []int, loads []float64, p SimParams) (*Fig9, error) {
-	if len(sizes) == 0 {
-		sizes = DefaultSizes()
-	}
-	if len(loads) == 0 {
-		loads = DefaultLoads()
-	}
-	pts := sweep.Grid(sizes, core.Architectures(), loads, batcherFeasible)
-	results, err := runPoints(model, pts, p)
+// arbiter. The study is a scenario grid (Fig9Spec) run on the sweep
+// engine, fanned across p.Workers goroutines with deterministic,
+// order-preserving results.
+func RunFig9(model study.ModelSpec, sizes []int, loads []float64, p SimParams) (*Fig9, error) {
+	return fig9FromSpec(context.Background(), Fig9Spec(model, sizes, loads, p), p.Workers)
+}
+
+// fig9FromSpec runs the grid and shapes the results into the figure.
+func fig9FromSpec(ctx context.Context, spec study.Spec, workers int) (*Fig9, error) {
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	f := &Fig9{Sizes: sizes, Loads: loads, Points: make([]Fig9Point, len(pts))}
-	for i, pt := range pts {
-		f.Points[i] = Fig9Point{Arch: pt.Arch, Ports: pt.Ports, Offered: pt.Load, Result: results[i]}
+	base := spec.Base.Resolved()
+	f := &Fig9{
+		Sizes:  axisInts(spec.Axes, "ports", []int{base.Fabric.Ports}),
+		Loads:  axisFloats(spec.Axes, "load", []float64{base.Traffic.Load}),
+		Points: make([]Fig9Point, len(gr.Points)),
+	}
+	for i, pt := range gr.Points {
+		arch, err := core.ParseArchitecture(pt.Scenario.Fabric.Arch)
+		if err != nil {
+			return nil, err
+		}
+		f.Points[i] = Fig9Point{
+			Arch:    arch,
+			Ports:   pt.Scenario.Fabric.Ports,
+			Offered: pt.Scenario.Traffic.Load,
+			Result:  pt.Result,
+		}
 	}
 	return f, nil
 }

@@ -1,14 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"math"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/netsim"
 	"fabricpower/internal/plot"
-	"fabricpower/internal/sweep"
+	"fabricpower/study"
 )
 
 // NetPoint is one operating point of the network study: a topology
@@ -19,7 +19,7 @@ type NetPoint struct {
 	Routing  string
 	Policy   string
 	Load     float64
-	Report   *netsim.Report
+	Result   study.Result
 }
 
 // NetworkStudy is the topology × routing × DPM policy × load grid with
@@ -77,112 +77,48 @@ func (o NetworkStudyOptions) withDefaults() NetworkStudyOptions {
 	return o
 }
 
-// netSeed mixes the experiment base seed with the coordinates that must
-// share a traffic stream: topology and load — but not routing or DPM
-// policy, so every (routing, policy) pair at one point is compared
-// under the identical offered cell sequence, exactly as RunDPMPoint
-// compares policies.
-func netSeed(base int64, topo string, nodes int, load float64) int64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	mix(uint64(base))
-	for _, b := range []byte(topo) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	mix(uint64(nodes))
-	mix(math.Float64bits(load))
-	return int64(h)
-}
-
-// RunNetworkPoint simulates one network operating point: the named
-// topology at the given size, the matrix's demand at the load, routed
-// by the named policy, every router under the named DPM policy.
-func RunNetworkPoint(model core.Model, opt NetworkStudyOptions, topo, routing, policy string, load float64, p SimParams) (*netsim.Report, error) {
-	opt = opt.withDefaults()
-	p = p.WithDefaults()
-	t, err := netsim.BuildTopology(topo, opt.Nodes)
-	if err != nil {
-		return nil, err
-	}
-	rt, err := netsim.NewRouting(routing)
-	if err != nil {
-		return nil, err
-	}
-	m, err := netsim.NewMatrix(opt.Matrix)
-	if err != nil {
-		return nil, err
-	}
-	net, err := netsim.New(netsim.Config{
-		Topology: t,
-		Arch:     opt.Arch,
-		Model:    model,
-		CellBits: p.CellBits,
-		Queue:    p.Queue,
-		Policy:   policy,
-		Routing:  rt,
-		Matrix:   m,
-		Load:     load,
-		Seed:     netSeed(p.Seed, topo, opt.Nodes, load),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s/%s/%s at %.0f%%: %w", topo, routing, policy, load*100, err)
-	}
-	return net.Run(p.WarmupSlots, p.MeasureSlots)
-}
-
-// netItem is one sweep-engine work item of the study grid.
-type netItem struct {
-	topo, routing, policy string
-	load                  float64
-}
-
 // RunNetworkStudy sweeps the topology × routing × DPM policy × load
-// grid on the sweep engine (p.Workers goroutines, bit-identical results
-// for any worker count: every point's network is seeded from its own
-// coordinates and simulated independently). Attach model.Static for the
-// study to show power-management savings; a zero static model prices
-// dynamic energy only.
-func RunNetworkStudy(model core.Model, opt NetworkStudyOptions, p SimParams) (*NetworkStudy, error) {
-	opt = opt.withDefaults()
-	items := make([]netItem, 0, len(opt.Topologies)*len(opt.Routings)*len(opt.Policies)*len(opt.Loads))
-	for _, topo := range opt.Topologies {
-		for _, rt := range opt.Routings {
-			for _, pol := range opt.Policies {
-				for _, load := range opt.Loads {
-					items = append(items, netItem{topo: topo, routing: rt, policy: pol, load: load})
-				}
-			}
-		}
+// grid: the NetSpec scenario grid on the sweep engine (p.Workers
+// goroutines, bit-identical results for any worker count: every
+// point's network is seeded from its own coordinates and simulated
+// independently). Set model.Static for the study to show
+// power-management savings; without it the study prices dynamic energy
+// only.
+func RunNetworkStudy(model study.ModelSpec, opt NetworkStudyOptions, p SimParams) (*NetworkStudy, error) {
+	return netFromSpec(context.Background(), NetSpec(model, opt, p), p.Workers)
+}
+
+// netFromSpec runs the grid and shapes the results into the study.
+func netFromSpec(ctx context.Context, spec study.Spec, workers int) (*NetworkStudy, error) {
+	if spec.Base.Network == nil {
+		return nil, fmt.Errorf("exp: net spec needs a network block")
 	}
-	reports, err := sweep.Map(p.Workers, items, func(_ int, it netItem) (*netsim.Report, error) {
-		return RunNetworkPoint(model, opt, it.topo, it.routing, it.policy, it.load, p)
-	})
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	base := spec.Base.Resolved()
+	arch, err := core.ParseArchitecture(base.Fabric.Arch)
 	if err != nil {
 		return nil, err
 	}
 	s := &NetworkStudy{
-		Arch:       opt.Arch,
-		Nodes:      opt.Nodes,
-		Topologies: opt.Topologies,
-		Routings:   opt.Routings,
-		Policies:   opt.Policies,
-		Loads:      opt.Loads,
-		Points:     make([]NetPoint, len(items)),
+		Arch:       arch,
+		Nodes:      base.Network.Nodes,
+		Topologies: axisStrings(spec.Axes, "topology", []string{base.Network.Topology}),
+		Routings:   axisStrings(spec.Axes, "routing", []string{base.Network.Routing}),
+		Policies:   axisStrings(spec.Axes, "dpm", []string{base.DPM}),
+		Loads:      axisFloats(spec.Axes, "load", []float64{base.Traffic.Load}),
+		Points:     make([]NetPoint, len(gr.Points)),
 	}
-	for i, it := range items {
-		s.Points[i] = NetPoint{Topology: it.topo, Routing: it.routing, Policy: it.policy,
-			Load: it.load, Report: reports[i]}
+	for i, pt := range gr.Points {
+		s.Points[i] = NetPoint{
+			Topology: pt.Scenario.Network.Topology,
+			Routing:  pt.Scenario.Network.Routing,
+			Policy:   pt.Scenario.DPM,
+			Load:     pt.Scenario.Traffic.Load,
+			Result:   pt.Result,
+		}
 	}
 	return s, nil
 }
@@ -217,16 +153,16 @@ func (s *NetworkStudy) Render(w io.Writer) error {
 						continue
 					}
 					rows++
-					r := pt.Report
+					r := pt.Result
 					saved := "-"
 					if base, ok := s.Point(topo, "shortest", "alwayson", load); ok && (rt != "shortest" || pol != "alwayson") {
-						saved = fmtMW(base.Report.Total.TotalMW() - r.Total.TotalMW())
+						saved = fmtMW(base.Result.Power.TotalMW() - r.Power.TotalMW())
 					}
-					t.AddRow(rt, pol, fmtPct(load), fmtPct(r.DeliveryRatio),
-						fmtMW(r.Total.TotalMW()), saved,
+					t.AddRow(rt, pol, fmtPct(load), fmtPct(r.Net.DeliveryRatio),
+						fmtMW(r.Power.TotalMW()), saved,
 						fmt.Sprintf("%.2f", r.AvgLatencySlots),
-						fmt.Sprintf("%.2f", r.AvgHops),
-						fmt.Sprintf("%d", r.NodeDroppedCells+r.LinkDroppedCells))
+						fmt.Sprintf("%.2f", r.Net.AvgHops),
+						fmt.Sprintf("%d", r.Net.NodeDroppedCells+r.Net.LinkDroppedCells))
 				}
 			}
 		}
@@ -251,23 +187,22 @@ func (s *NetworkStudy) CSV(w io.Writer) error {
 		"avg_hops", "node_dropped", "link_dropped"}
 	var rows [][]string
 	for _, pt := range s.Points {
-		r := pt.Report
-		dyn := r.Total.SwitchMW + r.Total.BufferMW + r.Total.WireMW
+		r := pt.Result
 		rows = append(rows, []string{
 			pt.Topology,
 			pt.Routing,
 			pt.Policy,
-			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Net.Nodes),
 			fmt.Sprintf("%.3f", pt.Load),
-			fmt.Sprintf("%.5f", r.DeliveryRatio),
-			fmt.Sprintf("%.5f", r.Total.TotalMW()),
-			fmt.Sprintf("%.5f", dyn),
-			fmt.Sprintf("%.5f", r.Total.StaticMW),
+			fmt.Sprintf("%.5f", r.Net.DeliveryRatio),
+			fmt.Sprintf("%.5f", r.Power.TotalMW()),
+			fmt.Sprintf("%.5f", r.Power.DynamicMW()),
+			fmt.Sprintf("%.5f", r.Power.StaticMW),
 			fmt.Sprintf("%.3f", r.AvgLatencySlots),
 			fmt.Sprintf("%d", r.MaxLatencySlots),
-			fmt.Sprintf("%.3f", r.AvgHops),
-			fmt.Sprintf("%d", r.NodeDroppedCells),
-			fmt.Sprintf("%d", r.LinkDroppedCells),
+			fmt.Sprintf("%.3f", r.Net.AvgHops),
+			fmt.Sprintf("%d", r.Net.NodeDroppedCells),
+			fmt.Sprintf("%d", r.Net.LinkDroppedCells),
 		})
 	}
 	return plot.WriteCSV(w, headers, rows)

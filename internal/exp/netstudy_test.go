@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"fabricpower/internal/core"
+	"fabricpower/study"
 )
 
 func netTestParams(workers int) SimParams {
@@ -23,14 +23,11 @@ func netTestOptions() NetworkStudyOptions {
 	}
 }
 
-func staticModel() core.Model {
-	m := core.PaperModel()
-	m.Static = core.DefaultStaticPower()
-	return m
-}
+// staticSpec attaches the default static model, in declarative form.
+func staticSpec() study.ModelSpec { return study.ModelSpec{Static: true} }
 
 func TestRunNetworkStudy(t *testing.T) {
-	s, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(1))
+	s, err := RunNetworkStudy(staticSpec(), netTestOptions(), netTestParams(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,10 +35,10 @@ func TestRunNetworkStudy(t *testing.T) {
 		t.Fatalf("points = %d, want %d", len(s.Points), want)
 	}
 	for _, pt := range s.Points {
-		if pt.Report.DeliveredCells == 0 {
+		if pt.Result.Net.DeliveredCells == 0 {
 			t.Errorf("%s/%s/%s at %g: no cells delivered", pt.Topology, pt.Routing, pt.Policy, pt.Load)
 		}
-		if pt.Report.Total.TotalMW() <= 0 {
+		if pt.Result.Power.TotalMW() <= 0 {
 			t.Errorf("%s/%s/%s at %g: no power drawn", pt.Topology, pt.Routing, pt.Policy, pt.Load)
 		}
 	}
@@ -56,9 +53,9 @@ func TestRunNetworkStudy(t *testing.T) {
 					if !ok {
 						t.Fatalf("missing point %s/%s/%s %g", topo, rt, pol, load)
 					}
-					if pt.Report.OfferedCells != base.Report.OfferedCells {
+					if pt.Result.Net.OfferedCells != base.Result.Net.OfferedCells {
 						t.Errorf("%s at %g: %s/%s offered %d cells, alwayson baseline %d — traffic streams diverged",
-							topo, load, rt, pol, pt.Report.OfferedCells, base.Report.OfferedCells)
+							topo, load, rt, pol, pt.Result.Net.OfferedCells, base.Result.Net.OfferedCells)
 					}
 				}
 			}
@@ -69,11 +66,11 @@ func TestRunNetworkStudy(t *testing.T) {
 // TestRunNetworkStudyWorkerDeterminism pins the sweep invariant on the
 // network study: a parallel run is bit-identical to the sequential one.
 func TestRunNetworkStudyWorkerDeterminism(t *testing.T) {
-	seq, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(1))
+	seq, err := RunNetworkStudy(staticSpec(), netTestOptions(), netTestParams(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunNetworkStudy(staticModel(), netTestOptions(), netTestParams(8))
+	par, err := RunNetworkStudy(staticSpec(), netTestOptions(), netTestParams(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +82,7 @@ func TestRunNetworkStudyWorkerDeterminism(t *testing.T) {
 func TestNetworkStudyRenderAndCSV(t *testing.T) {
 	opt := netTestOptions()
 	opt.Topologies = []string{"fattree"}
-	s, err := RunNetworkStudy(staticModel(), opt, netTestParams(0))
+	s, err := RunNetworkStudy(staticSpec(), opt, netTestParams(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +116,7 @@ func TestNetworkStudyConsolidationSavings(t *testing.T) {
 	opt := netTestOptions()
 	opt.Topologies = []string{"fattree"}
 	opt.Loads = []float64{0.1}
-	s, err := RunNetworkStudy(staticModel(), opt, netTestParams(0))
+	s, err := RunNetworkStudy(staticSpec(), opt, netTestParams(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,8 +125,8 @@ func TestNetworkStudyConsolidationSavings(t *testing.T) {
 	if !ok1 || !ok2 {
 		t.Fatal("study points missing")
 	}
-	if green.Report.Total.TotalMW() >= base.Report.Total.TotalMW() {
+	if green.Result.Power.TotalMW() >= base.Result.Power.TotalMW() {
 		t.Errorf("consolidate+idlegate %.3f mW >= shortest+alwayson %.3f mW",
-			green.Report.Total.TotalMW(), base.Report.Total.TotalMW())
+			green.Result.Power.TotalMW(), base.Result.Power.TotalMW())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fabricpower/internal/core"
+	"fabricpower/study"
 )
 
 // parallelParams keeps the determinism sweeps small but non-trivial.
@@ -18,12 +19,12 @@ func parallelParams(workers int) SimParams {
 func TestFig9ParallelDeterminism(t *testing.T) {
 	sizes := []int{4, 8}
 	loads := []float64{0.2, 0.5}
-	seq, err := RunFig9(core.PaperModel(), sizes, loads, parallelParams(1))
+	seq, err := RunFig9(study.PaperModel(), sizes, loads, parallelParams(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 4} {
-		par, err := RunFig9(core.PaperModel(), sizes, loads, parallelParams(workers))
+		par, err := RunFig9(study.PaperModel(), sizes, loads, parallelParams(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,11 +38,11 @@ func TestFig9ParallelDeterminism(t *testing.T) {
 // the winner per load must not depend on scheduling.
 func TestCrossoverParallelDeterminism(t *testing.T) {
 	loads := []float64{0.05, 0.30}
-	seq, err := RunCrossover(core.PerWordBufferModel(), 16, loads, parallelParams(1))
+	seq, err := RunCrossover(study.PerWordModel(), 16, loads, parallelParams(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunCrossover(core.PerWordBufferModel(), 16, loads, parallelParams(8))
+	par, err := RunCrossover(study.PerWordModel(), 16, loads, parallelParams(8))
 	if err != nil {
 		t.Fatal(err)
 	}

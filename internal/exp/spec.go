@@ -1,0 +1,381 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/plot"
+	"fabricpower/study"
+)
+
+// This file is the bridge between the declarative study layer and the
+// legacy reports: every experiment runner is a Spec constructor (the
+// scenario-grid description of the study) plus an assembly step that
+// shapes the grid's results into the report struct the paper
+// reproduction renders. `fabricpower <subcmd> -print-scenario` emits
+// the constructor's spec; `fabricpower run` feeds a decoded spec back
+// through RunSpec — both paths execute the identical grid, so the
+// outputs match byte for byte.
+
+// Report is a rendered study outcome.
+type Report interface {
+	Render(w io.Writer) error
+}
+
+// CSVReport is a Report that can also emit a flat CSV table.
+type CSVReport interface {
+	Report
+	CSV(w io.Writer) error
+}
+
+// specBase assembles the scenario every study spec shares: fully
+// resolved simulation bounds (so printed specs are explicit and
+// reproducible) over the given model.
+func specBase(model study.ModelSpec, p SimParams) study.Scenario {
+	p = p.WithDefaults()
+	warmup := p.WarmupSlots
+	return study.Scenario{
+		Model:  model,
+		Fabric: study.FabricSpec{CellBits: p.CellBits},
+		Queue:  p.Queue.String(),
+		Sim: study.SimSpec{
+			WarmupSlots:  &warmup,
+			MeasureSlots: p.MeasureSlots,
+			Seed:         p.Seed,
+		},
+	}
+}
+
+// archNames converts architectures to their axis values.
+func archNames(archs []core.Architecture) []string {
+	names := make([]string, len(archs))
+	for i, a := range archs {
+		names[i] = a.String()
+	}
+	return names
+}
+
+// parseArchs converts axis values back to architectures.
+func parseArchs(names []string) ([]core.Architecture, error) {
+	archs := make([]core.Architecture, len(names))
+	for i, n := range names {
+		a, err := core.ParseArchitecture(n)
+		if err != nil {
+			return nil, err
+		}
+		archs[i] = a
+	}
+	return archs, nil
+}
+
+// axisInts returns the named axis's values, or the fallback when the
+// spec does not sweep that axis.
+func axisInts(axes []study.Axis, name string, fallback []int) []int {
+	for _, a := range axes {
+		if a.Name == name && a.Ints != nil {
+			return a.Ints
+		}
+	}
+	return fallback
+}
+
+// axisFloats is axisInts for float axes.
+func axisFloats(axes []study.Axis, name string, fallback []float64) []float64 {
+	for _, a := range axes {
+		if a.Name == name && a.Floats != nil {
+			return a.Floats
+		}
+	}
+	return fallback
+}
+
+// axisStrings is axisInts for string axes.
+func axisStrings(axes []study.Axis, name string, fallback []string) []string {
+	for _, a := range axes {
+		if a.Name == name && a.Strings != nil {
+			return a.Strings
+		}
+	}
+	return fallback
+}
+
+// Fig9Spec describes Fig. 9 as a scenario grid: ports × architecture ×
+// load over uniform traffic.
+func Fig9Spec(model study.ModelSpec, sizes []int, loads []float64, p SimParams) study.Spec {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	if len(loads) == 0 {
+		loads = DefaultLoads()
+	}
+	return study.Spec{
+		Kind: "fig9",
+		Grid: study.Grid{
+			Base: specBase(model, p),
+			Axes: []study.Axis{
+				{Name: "ports", Ints: sizes},
+				{Name: "arch", Strings: archNames(core.Architectures())},
+				{Name: "load", Floats: loads},
+			},
+		},
+	}
+}
+
+// Fig10Spec describes Fig. 10: ports × architecture at one load.
+func Fig10Spec(model study.ModelSpec, sizes []int, load float64, p SimParams) study.Spec {
+	if len(sizes) == 0 {
+		sizes = DefaultSizes()
+	}
+	if load <= 0 {
+		load = 0.5
+	}
+	base := specBase(model, p)
+	base.Traffic.Load = load
+	return study.Spec{
+		Kind: "fig10",
+		Grid: study.Grid{
+			Base: base,
+			Axes: []study.Axis{
+				{Name: "ports", Ints: sizes},
+				{Name: "arch", Strings: archNames(core.Architectures())},
+			},
+		},
+	}
+}
+
+// CrossoverSpec describes the cheapest-architecture study: load ×
+// architecture at one size (loads outermost, so the per-load winner
+// reduction reads contiguous runs).
+func CrossoverSpec(model study.ModelSpec, ports int, loads []float64, p SimParams) study.Spec {
+	if ports == 0 {
+		ports = 32
+	}
+	if len(loads) == 0 {
+		loads = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+	}
+	base := specBase(model, p)
+	base.Fabric.Ports = ports
+	return study.Spec{
+		Kind: "crossover",
+		Grid: study.Grid{
+			Base: base,
+			Axes: []study.Axis{
+				{Name: "load", Floats: loads},
+				{Name: "arch", Strings: archNames(core.Architectures())},
+			},
+		},
+	}
+}
+
+// SaturationSpec describes the input-buffering ceiling study: an
+// offered-load sweep on the crossbar.
+func SaturationSpec(model study.ModelSpec, ports int, p SimParams) study.Spec {
+	if ports == 0 {
+		ports = 16
+	}
+	base := specBase(model, p)
+	base.Fabric.Arch = core.Crossbar.String()
+	base.Fabric.Ports = ports
+	return study.Spec{
+		Kind: "saturate",
+		Grid: study.Grid{
+			Base: base,
+			Axes: []study.Axis{
+				{Name: "load", Floats: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}},
+			},
+		},
+	}
+}
+
+// DPMSpec describes the power-management study: policy × architecture ×
+// load at one size.
+func DPMSpec(model study.ModelSpec, policies []string, archs []core.Architecture, ports int, loads []float64, p SimParams) study.Spec {
+	if len(policies) == 0 {
+		policies = study.DPMPolicyNames()
+	}
+	if len(archs) == 0 {
+		archs = core.Architectures()
+	}
+	if ports == 0 {
+		ports = 16
+	}
+	if len(loads) == 0 {
+		loads = DefaultLoads()
+	}
+	base := specBase(model, p)
+	base.Fabric.Ports = ports
+	return study.Spec{
+		Kind: "dpm",
+		Grid: study.Grid{
+			Base: base,
+			Axes: []study.Axis{
+				{Name: "dpm", Strings: policies},
+				{Name: "arch", Strings: archNames(archs)},
+				{Name: "load", Floats: loads},
+			},
+		},
+	}
+}
+
+// NetSpec describes the network study: topology × routing × DPM policy
+// × load over a backbone of routers.
+func NetSpec(model study.ModelSpec, opt NetworkStudyOptions, p SimParams) study.Spec {
+	opt = opt.withDefaults()
+	base := specBase(model, p)
+	base.Fabric.Arch = opt.Arch.String()
+	base.Network = &study.NetworkSpec{Nodes: opt.Nodes, Matrix: opt.Matrix}
+	return study.Spec{
+		Kind: "net",
+		Grid: study.Grid{
+			Base: base,
+			Axes: []study.Axis{
+				{Name: "topology", Strings: opt.Topologies},
+				{Name: "routing", Strings: opt.Routings},
+				{Name: "dpm", Strings: opt.Policies},
+				{Name: "load", Floats: opt.Loads},
+			},
+		},
+	}
+}
+
+// PointSpec describes one operating point (the `simulate` subcommand).
+func PointSpec(model study.ModelSpec, arch core.Architecture, ports int, load float64, p SimParams) study.Spec {
+	base := specBase(model, p)
+	base.Fabric.Arch = arch.String()
+	base.Fabric.Ports = ports
+	base.Traffic.Load = load
+	return study.Spec{Kind: "point", Grid: study.Grid{Base: base}}
+}
+
+// Table1Spec describes the gate-level node-switch characterization.
+func Table1Spec(model study.ModelSpec, opt Table1Options) study.Spec {
+	opt = opt.withDefaults()
+	return study.Spec{
+		Kind: "table1",
+		Grid: study.Grid{
+			Base: study.Scenario{
+				Model: model,
+				Char: &study.CharSpec{
+					Cycles:   opt.Cycles,
+					BusWidth: opt.BusWidth,
+					MuxSizes: opt.MuxSizes,
+					Seed:     opt.Seed,
+				},
+			},
+		},
+	}
+}
+
+// RunSpec executes a declarative spec and returns the study report of
+// its kind. The legacy kinds reproduce the matching subcommand's
+// report exactly; an empty kind returns the generic per-point table. A
+// cancelled ctx aborts the underlying grid between points and
+// surfaces ctx's error.
+func RunSpec(ctx context.Context, spec study.Spec, workers int) (Report, error) {
+	switch spec.Kind {
+	case "fig9":
+		return fig9FromSpec(ctx, spec, workers)
+	case "fig10":
+		return fig10FromSpec(ctx, spec, workers)
+	case "crossover":
+		return crossoverFromSpec(ctx, spec, workers)
+	case "saturate":
+		return saturationFromSpec(ctx, spec, workers)
+	case "dpm":
+		return dpmFromSpec(ctx, spec, workers)
+	case "net":
+		return netFromSpec(ctx, spec, workers)
+	case "point":
+		r, err := study.RunScenario(spec.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &PointReport{Scenario: spec.Base, Result: r}, nil
+	case "table1":
+		if spec.Base.Char == nil {
+			return nil, fmt.Errorf("exp: table1 spec needs a char block")
+		}
+		model, err := spec.Base.Model.Build()
+		if err != nil {
+			return nil, err
+		}
+		c := spec.Base.Char
+		return RunTable1(model, Table1Options{
+			Cycles:   c.Cycles,
+			BusWidth: c.BusWidth,
+			MuxSizes: c.MuxSizes,
+			Seed:     c.Seed,
+			Workers:  workers,
+		})
+	case "":
+		gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return &GenericReport{Points: gr.Points}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown study kind %q", spec.Kind)
+}
+
+// PointReport renders a single operating point with the full breakdown
+// (the `simulate` subcommand's format).
+type PointReport struct {
+	Scenario study.Scenario
+	Result   study.Result
+}
+
+// Render implements Report.
+func (p *PointReport) Render(w io.Writer) error {
+	res := p.Result
+	_, err := fmt.Fprintf(w,
+		"%s %d×%d at %.0f%% offered load (%d measured slots)\n"+
+			"  throughput     : %.2f%%\n"+
+			"  avg latency    : %.2f slots (max %d)\n"+
+			"  switch power   : %.4f mW\n"+
+			"  buffer power   : %.4f mW (%d buffering events)\n"+
+			"  wire power     : %.4f mW\n"+
+			"  total power    : %.4f mW\n",
+		res.Arch, res.Ports, res.Ports, p.Scenario.Traffic.Load*100, res.Slots,
+		res.Throughput*100,
+		res.AvgLatencySlots, res.MaxLatencySlots,
+		res.Power.SwitchMW,
+		res.Power.BufferMW, res.BufferEvents,
+		res.Power.WireMW,
+		res.Power.TotalMW())
+	return err
+}
+
+// GenericReport renders a kind-less grid as one flat table — the
+// catch-all for ad-hoc scenario files that match no legacy study.
+type GenericReport struct {
+	Points []study.GridPoint
+}
+
+// Render implements Report.
+func (g *GenericReport) Render(w io.Writer) error {
+	t := plot.Table{
+		Title: "Scenario grid",
+		Headers: []string{"arch", "ports", "dpm", "topology", "load",
+			"delivered", "total_mW", "avg_lat"},
+	}
+	for _, pt := range g.Points {
+		if !pt.Done {
+			continue
+		}
+		sc, r := pt.Scenario, pt.Result
+		dpmName, topo, delivered := sc.DPM, "-", r.Throughput
+		if dpmName == "" {
+			dpmName = "-"
+		}
+		if r.Net != nil {
+			topo = r.Net.Topology
+			delivered = r.Net.DeliveryRatio
+		}
+		t.AddRow(r.Arch, fmt.Sprintf("%d", r.Ports), dpmName, topo,
+			fmtPct(sc.Traffic.Load), fmtPct(delivered),
+			fmtMW(r.Power.TotalMW()), fmt.Sprintf("%.2f", r.AvgLatencySlots))
+	}
+	return t.Render(w)
+}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,8 +10,8 @@ import (
 	"fabricpower/internal/plot"
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
-	"fabricpower/internal/sweep"
 	"fabricpower/internal/traffic"
+	"fabricpower/study"
 )
 
 // Crossover locates the throughput below which the Banyan is the
@@ -24,33 +25,36 @@ type Crossover struct {
 }
 
 // RunCrossover sweeps fine-grained loads at one size and records which
-// architecture draws the least power at each. All (load, architecture)
-// points run on the sweep engine; the winner reduction happens after, in
-// load order, so the result is independent of the worker count.
-func RunCrossover(model core.Model, ports int, loads []float64, p SimParams) (*Crossover, error) {
-	if ports == 0 {
-		ports = 32
-	}
-	if len(loads) == 0 {
-		loads = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
-	}
-	archs := core.Architectures()
-	pts := make([]sweep.Point, 0, len(loads)*len(archs))
-	for _, load := range loads {
-		for _, arch := range archs {
-			pts = append(pts, sweep.Point{Arch: arch, Ports: ports, Load: load})
-		}
-	}
-	results, err := runPoints(model, pts, p)
+// architecture draws the least power at each: the CrossoverSpec
+// scenario grid (loads outermost) with the winner reduction after the
+// sweep, in load order, so the result is independent of the worker
+// count.
+func RunCrossover(model study.ModelSpec, ports int, loads []float64, p SimParams) (*Crossover, error) {
+	return crossoverFromSpec(context.Background(), CrossoverSpec(model, ports, loads, p), p.Workers)
+}
+
+// crossoverFromSpec runs the grid and reduces per-load winners.
+func crossoverFromSpec(ctx context.Context, spec study.Spec, workers int) (*Crossover, error) {
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	c := &Crossover{Ports: ports, Loads: loads}
+	base := spec.Base.Resolved()
+	loads := axisFloats(spec.Axes, "load", []float64{base.Traffic.Load})
+	archs, err := parseArchs(axisStrings(spec.Axes, "arch", []string{base.Fabric.Arch}))
+	if err != nil {
+		return nil, err
+	}
+	if len(gr.Points) != len(loads)*len(archs) {
+		return nil, fmt.Errorf("exp: crossover grid shape %d != %d loads × %d archs",
+			len(gr.Points), len(loads), len(archs))
+	}
+	c := &Crossover{Ports: base.Fabric.Ports, Loads: loads}
 	for li, load := range loads {
 		best := core.Architecture(-1)
 		bestP := 0.0
 		for ai, arch := range archs {
-			res := results[li*len(archs)+ai]
+			res := gr.Points[li*len(archs)+ai].Result
 			if best < 0 || res.Power.TotalMW() < bestP {
 				best = arch
 				bestP = res.Power.TotalMW()
@@ -92,26 +96,27 @@ type Saturation struct {
 }
 
 // RunSaturation sweeps offered load 10%…100% on the crossbar (the
-// fabric is irrelevant — the ceiling is a property of input buffering),
-// one sweep-engine point per load.
-func RunSaturation(model core.Model, ports int, p SimParams) (*Saturation, error) {
-	if ports == 0 {
-		ports = 16
-	}
-	offers := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
-	pts := make([]sweep.Point, len(offers))
-	for i, offered := range offers {
-		pts[i] = sweep.Point{Arch: core.Crossbar, Ports: ports, Load: offered}
-	}
-	results, err := runPoints(model, pts, p)
+// fabric is irrelevant — the ceiling is a property of input buffering):
+// the SaturationSpec scenario grid, one point per load.
+func RunSaturation(model study.ModelSpec, ports int, p SimParams) (*Saturation, error) {
+	return saturationFromSpec(context.Background(), SaturationSpec(model, ports, p), p.Workers)
+}
+
+// saturationFromSpec runs the grid and extracts the egress curve.
+func saturationFromSpec(ctx context.Context, spec study.Spec, workers int) (*Saturation, error) {
+	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	s := &Saturation{Ports: ports, Offered: offers}
-	for _, res := range results {
-		s.Egress = append(s.Egress, res.Throughput)
-		if res.Throughput > s.Ceiling {
-			s.Ceiling = res.Throughput
+	base := spec.Base.Resolved()
+	s := &Saturation{
+		Ports:   base.Fabric.Ports,
+		Offered: axisFloats(spec.Axes, "load", []float64{base.Traffic.Load}),
+	}
+	for _, pt := range gr.Points {
+		s.Egress = append(s.Egress, pt.Result.Throughput)
+		if pt.Result.Throughput > s.Ceiling {
+			s.Ceiling = pt.Result.Throughput
 		}
 	}
 	return s, nil

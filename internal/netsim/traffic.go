@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Flow is one (source node, destination node) demand of a traffic
@@ -162,7 +163,34 @@ func (h HotspotMatrix) Rates(hosts int, load float64) ([][]float64, error) {
 	return r, nil
 }
 
-// NewMatrix builds a matrix from its CLI name with default tuning.
+var (
+	matrixRegistryMu sync.RWMutex
+	matrixRegistry   = map[string]func() TrafficMatrix{}
+)
+
+// RegisterMatrix makes a traffic matrix constructible by name through
+// NewMatrix — the extension point the study layer exposes. Each
+// NewMatrix call invokes factory afresh. Built-in and
+// already-registered names are rejected. Safe for concurrent use with
+// NewMatrix.
+func RegisterMatrix(name string, factory func() TrafficMatrix) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("netsim: matrix registration needs a name and a factory")
+	}
+	if name == "uniform" || name == "gravity" || name == "hotspot" {
+		return fmt.Errorf("netsim: traffic matrix %q is built in", name)
+	}
+	matrixRegistryMu.Lock()
+	defer matrixRegistryMu.Unlock()
+	if _, ok := matrixRegistry[name]; ok {
+		return fmt.Errorf("netsim: traffic matrix %q already registered", name)
+	}
+	matrixRegistry[name] = factory
+	return nil
+}
+
+// NewMatrix builds a matrix from its name with default tuning,
+// consulting the built-ins first and then the registry.
 func NewMatrix(name string) (TrafficMatrix, error) {
 	switch name {
 	case "uniform":
@@ -172,11 +200,28 @@ func NewMatrix(name string) (TrafficMatrix, error) {
 	case "hotspot":
 		return HotspotMatrix{}, nil
 	}
+	matrixRegistryMu.RLock()
+	factory, ok := matrixRegistry[name]
+	matrixRegistryMu.RUnlock()
+	if ok {
+		return factory(), nil
+	}
 	return nil, fmt.Errorf("netsim: unknown traffic matrix %q (want one of %v)", name, MatrixNames())
 }
 
-// MatrixNames lists the built-in matrices.
-func MatrixNames() []string { return []string{"uniform", "gravity", "hotspot"} }
+// MatrixNames lists the built-in matrices followed by any registered
+// extensions, sorted.
+func MatrixNames() []string {
+	names := []string{"uniform", "gravity", "hotspot"}
+	matrixRegistryMu.RLock()
+	var extra []string
+	for name := range matrixRegistry {
+		extra = append(extra, name)
+	}
+	matrixRegistryMu.RUnlock()
+	sort.Strings(extra)
+	return append(names, extra...)
+}
 
 func checkDemand(hosts int, load float64) error {
 	if hosts < 2 {

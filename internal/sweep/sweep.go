@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -94,12 +95,33 @@ func PointSeed(base int64, ports int, load float64) int64 {
 // sweep: in-flight items finish, unstarted items are skipped, and the
 // error is returned wrapped with its item index.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	results, _, err := MapCtx(context.Background(), workers, items, fn)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MapCtx is Map with cooperative cancellation and partial-result
+// reporting. Cancellation is checked between points: in-flight points
+// finish, no new point starts once ctx is done, and the returned done
+// slice marks exactly the points whose results are valid — the partial
+// sweep survives intact. When ctx is cancelled the error is ctx's; when
+// a point fails, its wrapped error wins over a concurrent cancellation.
+//
+// The results and done slices are always returned (sized to items),
+// even alongside a non-nil error; completed entries are identical to
+// what an uninterrupted run would have produced at those indices.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, []bool, error) {
 	if fn == nil {
-		return nil, fmt.Errorf("sweep: fn is required")
+		return nil, nil, fmt.Errorf("sweep: fn is required")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := len(items)
 	if n == 0 {
-		return nil, nil
+		return nil, nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -108,15 +130,20 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		workers = n
 	}
 	results := make([]R, n)
+	done := make([]bool, n)
 	if workers == 1 {
 		for i, item := range items {
+			if err := ctx.Err(); err != nil {
+				return results, done, err
+			}
 			r, err := fn(i, item)
 			if err != nil {
-				return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+				return results, done, fmt.Errorf("sweep: point %d: %w", i, err)
 			}
 			results[i] = r
+			done[i] = true
 		}
-		return results, nil
+		return results, done, nil
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -128,7 +155,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				r, err := fn(i, items[i])
@@ -138,14 +165,15 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 					return
 				}
 				results[i] = r
+				done[i] = true
 			}
 		}()
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
+			return results, done, fmt.Errorf("sweep: point %d: %w", i, err)
 		}
 	}
-	return results, nil
+	return results, done, ctx.Err()
 }

@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"fabricpower/internal/core"
@@ -62,6 +64,67 @@ func TestMapErrorCarriesIndex(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "point") {
 			t.Fatalf("workers=%d: error should name the point: %v", workers, err)
+		}
+	}
+}
+
+// TestMapCtxCancelKeepsPartialResults pins the cancellation contract the
+// study grids build on: a cancelled sweep returns ctx's error, the done
+// flags mark exactly the finished points, and those results match what
+// an uninterrupted run produced at the same indices.
+func TestMapCtxCancelKeepsPartialResults(t *testing.T) {
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		results, done, err := MapCtx(ctx, workers, items, func(i, item int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return item * 10, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if len(results) != len(items) || len(done) != len(items) {
+			t.Fatalf("workers=%d: slices must be sized to items", workers)
+		}
+		finished := 0
+		for i := range items {
+			if done[i] {
+				finished++
+				if results[i] != i*10 {
+					t.Fatalf("workers=%d: finished point %d = %d, want %d", workers, i, results[i], i*10)
+				}
+			}
+		}
+		if finished == 0 || finished == len(items) {
+			t.Fatalf("workers=%d: cancellation should leave a partial sweep, finished %d/%d",
+				workers, finished, len(items))
+		}
+	}
+}
+
+// TestMapCtxCompleteRun: with a live context MapCtx matches Map and
+// marks every point done.
+func TestMapCtxCompleteRun(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5}
+	results, done, err := MapCtx(context.Background(), 2, items, func(i, item int) (int, error) {
+		return item + 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("point %d not marked done", i)
+		}
+		if results[i] != items[i]+100 {
+			t.Fatalf("result %d = %d", i, results[i])
 		}
 	}
 }

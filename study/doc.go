@@ -1,0 +1,48 @@
+// Package study is the declarative experiment layer of the platform:
+// every experiment — single-router or network-of-routers, managed or
+// always-on — is a value.
+//
+// A Scenario is a JSON-serializable description of one operating point:
+// the energy model and technology point, the fabric architecture and
+// size, the traffic shape, the ingress queue discipline, an optional
+// dynamic power-management policy, and an optional network block
+// (topology, routing policy, traffic matrix). RunScenario executes it
+// on the same kernels the paper-reproduction runners use, with the same
+// coordinate-derived traffic seeds, so a scenario printed by a legacy
+// subcommand reproduces that subcommand's measurements exactly.
+//
+// A Grid sweeps any scenario axis — load, ports, architecture, DPM
+// policy, topology, routing, … — by naming the axis and listing its
+// values. Grid.Run fans the enumerated scenarios across worker
+// goroutines on the deterministic sweep engine: results are
+// bit-identical for any worker count, a context cancels the sweep
+// between points with every completed point's result intact, and an
+// optional callback streams per-point progress.
+//
+// A Spec wraps a Grid with a study kind ("fig9", "dpm", "net", …) so
+// the CLI can render a declarative run with the legacy reports; see
+// internal/exp and the `fabricpower run` subcommand.
+//
+// # Extension points
+//
+// The string names scenarios use for traffic kinds, DPM policies,
+// routing policies, topologies and traffic matrices resolve through
+// name-based registries, so external callers can plug in their own
+// implementations and then drive them from scenario files:
+//
+//   - RegisterTraffic adds a traffic kind: a TrafficSource emitting
+//     per-slot (port, destination) injections.
+//   - RegisterDPMPolicy adds a power-management policy: a Policy
+//     observing per-slot activity and deciding component power states.
+//   - RegisterRouting adds a network routing policy: a RoutingFunc
+//     mapping flow demands to node paths over a NetworkView.
+//   - RegisterTopology adds a topology builder: a Graph of undirected
+//     edges (and optionally restricted host nodes) per size.
+//   - RegisterMatrix adds a traffic matrix: per-host demand rates.
+//   - RegisterAxis adds a sweepable scenario axis.
+//
+// Registered implementations must be deterministic pure functions of
+// their inputs: the sweep engine's bit-identical-for-any-worker-count
+// guarantee extends to plug-ins exactly as far as they are
+// deterministic.
+package study

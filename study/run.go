@@ -1,0 +1,481 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"fabricpower/internal/core"
+	"fabricpower/internal/dpm"
+	"fabricpower/internal/fabric"
+	"fabricpower/internal/netsim"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/router"
+	"fabricpower/internal/sim"
+	"fabricpower/internal/sweep"
+	"fabricpower/internal/traffic"
+)
+
+// simGenerator is the simulation kernel's per-slot cell source.
+type simGenerator = sim.Generator
+
+// Power is a per-component power report in milliwatts.
+type Power struct {
+	SwitchMW float64
+	BufferMW float64
+	WireMW   float64
+	// StaticMW is the always-on (leakage + clock) power, including
+	// state-transition overhead; zero without a static model.
+	StaticMW float64
+}
+
+// TotalMW sums all components.
+func (p Power) TotalMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW + p.StaticMW }
+
+// DynamicMW sums the dynamic components only.
+func (p Power) DynamicMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW }
+
+// Energy is a per-component energy breakdown in femtojoules.
+type Energy struct {
+	SwitchFJ float64
+	BufferFJ float64
+	WireFJ   float64
+}
+
+// TotalFJ sums the components.
+func (e Energy) TotalFJ() float64 { return e.SwitchFJ + e.BufferFJ + e.WireFJ }
+
+// DPMReport is the power manager's ledger over the measured window.
+type DPMReport struct {
+	// Policy names the deciding policy.
+	Policy string
+	// Slots counts accounted slots.
+	Slots uint64
+	// StaticFJ is the static energy actually drawn; AlwaysOnStaticFJ
+	// what an unmanaged fabric would have drawn; TransitionFJ the
+	// state-transition cost; DynamicAdjustFJ the (non-positive) DVFS
+	// correction to dynamic energy.
+	StaticFJ         float64
+	AlwaysOnStaticFJ float64
+	TransitionFJ     float64
+	DynamicAdjustFJ  float64
+	// Transitions, WakeEvents and DVFSShifts count state changes;
+	// GatedPortSlots, DrowsySlots and StalledSlots count time in the
+	// managed states.
+	Transitions    uint64
+	WakeEvents     uint64
+	DVFSShifts     uint64
+	GatedPortSlots uint64
+	DrowsySlots    uint64
+	StalledSlots   uint64
+}
+
+// SavedFJ is the net energy the policy saved against the always-on
+// baseline: forgone static power minus transition cost plus DVFS
+// dynamic savings.
+func (r DPMReport) SavedFJ() float64 {
+	return r.AlwaysOnStaticFJ - r.StaticFJ - r.TransitionFJ - r.DynamicAdjustFJ
+}
+
+// NetReport carries the network-level measurements of a network
+// scenario.
+type NetReport struct {
+	// Topology and Nodes identify the run.
+	Topology string
+	Nodes    int
+	// OfferedCells counts source-injection attempts; DeliveredCells
+	// end-to-end deliveries.
+	OfferedCells   uint64
+	DeliveredCells uint64
+	// NodeDroppedCells sums ingress overflows; LinkDroppedCells counts
+	// full-link drops.
+	NodeDroppedCells uint64
+	LinkDroppedCells uint64
+	// DeliveryRatio is DeliveredCells/OfferedCells; AvgHops the mean
+	// link count of delivered cells' paths.
+	DeliveryRatio float64
+	AvgHops       float64
+}
+
+// Result is the measurement of one executed scenario. Single-router
+// scenarios fill the router-level fields; network scenarios
+// additionally fill Net, with the power and latency fields holding the
+// network-wide totals (end-to-end latency, summed power).
+type Result struct {
+	// Arch and Ports identify the fabric configuration (for networks:
+	// each router's).
+	Arch  string
+	Ports int
+	// Slots is the measured window; SlotNS its per-slot duration.
+	Slots  uint64
+	SlotNS float64
+	// Throughput is the measured egress throughput as a fraction of
+	// aggregate port capacity (single-router scenarios; networks
+	// report Net.DeliveryRatio instead).
+	Throughput      float64
+	AvgLatencySlots float64
+	MaxLatencySlots uint64
+	// Energy and Power break down the fabric draw over the window.
+	Energy Energy
+	Power  Power
+	// EnergyPerBitFJ is the average fabric energy per delivered bit.
+	EnergyPerBitFJ float64
+	// BufferEvents counts fabric-internal bufferings (Banyan only).
+	BufferEvents uint64
+	// DroppedCells counts ingress-queue overflows.
+	DroppedCells uint64
+	// QueuedCells is the ingress backlog at the end of the window.
+	QueuedCells int
+	// DPM is the power manager's ledger; nil when unmanaged.
+	DPM *DPMReport
+	// Net holds the network-level measurements; nil for single-router
+	// scenarios.
+	Net *NetReport
+}
+
+// RunScenario executes one scenario and returns its measurement. The
+// execution matches the experiment runners exactly: the traffic stream
+// is derived from (Sim.Seed, coordinates), so two scenarios that
+// describe the same operating point measure identical results —
+// regardless of which subcommand, grid or test constructed them.
+func RunScenario(sc Scenario) (Result, error) {
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	sd := sc.withDefaults()
+	model, err := sd.Model.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	if sd.Network != nil {
+		return runNetwork(sd, model)
+	}
+	return runSingle(sd, model)
+}
+
+func parseQueue(name string) (router.QueueDiscipline, error) {
+	switch name {
+	case "fifo":
+		return router.FIFO, nil
+	case "voq":
+		return router.VOQ, nil
+	}
+	return router.FIFO, fmt.Errorf("study: unknown queue discipline %q", name)
+}
+
+// tracePlayer opens and replays a recorded trace.
+func tracePlayer(path string, cfg packet.Config) (simGenerator, error) {
+	if path == "" {
+		return nil, fmt.Errorf("study: traffic kind trace needs a trace path")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("study: opening trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := traffic.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	return traffic.NewPlayer(tr, cfg)
+}
+
+// runSingle executes a defaulted single-router scenario.
+func runSingle(sd Scenario, model core.Model) (Result, error) {
+	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
+	if err != nil {
+		return Result{}, err
+	}
+	queue, err := parseQueue(sd.Queue)
+	if err != nil {
+		return Result{}, err
+	}
+	cellCfg := packet.Config{CellBits: sd.Fabric.CellBits, BusWidth: model.Tech.BusWidth}
+	var mgr *dpm.Manager
+	if sd.DPM != "" {
+		pol, err := dpm.NewPolicy(sd.DPM)
+		if err != nil {
+			return Result{}, err
+		}
+		mgr, err = dpm.New(dpm.Config{
+			Arch:     arch,
+			Ports:    sd.Fabric.Ports,
+			Model:    model,
+			CellBits: sd.Fabric.CellBits,
+			Policy:   pol,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("study: %s %v %d ports: %w", sd.DPM, arch, sd.Fabric.Ports, err)
+		}
+	}
+	rcfg := router.Config{
+		Arch: arch,
+		Fabric: fabric.Config{
+			Ports: sd.Fabric.Ports,
+			Cell:  cellCfg,
+			Model: model,
+		},
+		Queue: queue,
+	}
+	if mgr != nil {
+		rcfg.Gate = mgr
+	}
+	r, err := router.New(rcfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("study: %v %d ports: %w", arch, sd.Fabric.Ports, err)
+	}
+	seed := sweep.PointSeed(sd.Sim.Seed, sd.Fabric.Ports, sd.Traffic.Load)
+	gen, err := builtinGenerator(sd.Traffic, sd.Fabric.Ports, cellCfg, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	warmup := *sd.Sim.WarmupSlots
+	res, err := sim.Run(r, gen, model.Tech, sd.Fabric.CellBits, sim.Options{
+		WarmupSlots:  warmup,
+		NoWarmup:     warmup == 0,
+		MeasureSlots: sd.Sim.MeasureSlots,
+		DPM:          mgr,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if sg, ok := gen.(*sourceGenerator); ok && sg.err != nil {
+		return Result{}, sg.err
+	}
+	return fromSim(res, model, sd.Fabric.CellBits), nil
+}
+
+// fromSim converts a kernel result into the public form.
+func fromSim(res sim.Result, model core.Model, cellBits int) Result {
+	out := Result{
+		Arch:            res.Arch.String(),
+		Ports:           res.Ports,
+		Slots:           res.Slots,
+		SlotNS:          model.Tech.CellTimeNS(cellBits),
+		Throughput:      res.Throughput,
+		AvgLatencySlots: res.AvgLatencySlots,
+		MaxLatencySlots: res.MaxLatencySlots,
+		Energy: Energy{
+			SwitchFJ: res.Energy.SwitchFJ,
+			BufferFJ: res.Energy.BufferFJ,
+			WireFJ:   res.Energy.WireFJ,
+		},
+		Power: Power{
+			SwitchMW: res.Power.SwitchMW,
+			BufferMW: res.Power.BufferMW,
+			WireMW:   res.Power.WireMW,
+			StaticMW: res.Power.StaticMW,
+		},
+		BufferEvents: res.BufferEvents,
+		DroppedCells: res.DroppedCells,
+		QueuedCells:  res.QueuedCells,
+	}
+	deliveredBits := res.Throughput * float64(res.Ports) * float64(res.Slots) * float64(cellBits)
+	if deliveredBits > 0 {
+		out.EnergyPerBitFJ = res.Energy.TotalFJ() / deliveredBits
+	}
+	if res.DPM != nil {
+		out.DPM = &DPMReport{
+			Policy:           res.DPM.Policy,
+			Slots:            res.DPM.Slots,
+			StaticFJ:         res.DPM.StaticFJ,
+			AlwaysOnStaticFJ: res.DPM.AlwaysOnStaticFJ,
+			TransitionFJ:     res.DPM.TransitionFJ,
+			DynamicAdjustFJ:  res.DPM.DynamicAdjust.TotalFJ(),
+			Transitions:      res.DPM.Transitions,
+			WakeEvents:       res.DPM.WakeEvents,
+			DVFSShifts:       res.DPM.DVFSShifts,
+			GatedPortSlots:   res.DPM.GatedPortSlots,
+			DrowsySlots:      res.DPM.DrowsySlots,
+			StalledSlots:     res.DPM.StalledSlots,
+		}
+	}
+	return out
+}
+
+// networkSeed mixes the experiment base seed with the coordinates that
+// must share a traffic stream: topology and load — but not routing or
+// DPM policy, so every (routing, policy) pair at one point is compared
+// under the identical offered cell sequence.
+func networkSeed(base int64, topo string, nodes int, load float64) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(base))
+	for _, b := range []byte(topo) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mix(uint64(nodes))
+	mix(math.Float64bits(load))
+	return int64(h)
+}
+
+// runNetwork executes a defaulted network scenario.
+func runNetwork(sd Scenario, model core.Model) (Result, error) {
+	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
+	if err != nil {
+		return Result{}, err
+	}
+	queue, err := parseQueue(sd.Queue)
+	if err != nil {
+		return Result{}, err
+	}
+	ns := sd.Network
+	t, err := netsim.BuildTopology(ns.Topology, ns.Nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	rt, err := netsim.NewRouting(ns.Routing)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := netsim.NewMatrix(ns.Matrix)
+	if err != nil {
+		return Result{}, err
+	}
+	net, err := netsim.New(netsim.Config{
+		Topology:       t,
+		Arch:           arch,
+		Model:          model,
+		CellBits:       sd.Fabric.CellBits,
+		Queue:          queue,
+		MaxQueueCells:  ns.MaxQueueCells,
+		LinkQueueCells: ns.LinkQueueCells,
+		Policy:         sd.DPM,
+		Routing:        rt,
+		Matrix:         m,
+		Load:           sd.Traffic.Load,
+		Seed:           networkSeed(sd.Sim.Seed, ns.Topology, ns.Nodes, sd.Traffic.Load),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("study: %s/%s/%s at %.0f%%: %w",
+			ns.Topology, ns.Routing, sd.DPM, sd.Traffic.Load*100, err)
+	}
+	rep, err := net.Run(*sd.Sim.WarmupSlots, sd.Sim.MeasureSlots)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Arch:            arch.String(),
+		Ports:           t.Ports,
+		Slots:           rep.Slots,
+		SlotNS:          model.Tech.CellTimeNS(sd.Fabric.CellBits),
+		AvgLatencySlots: rep.AvgLatencySlots,
+		MaxLatencySlots: rep.MaxLatencySlots,
+		Energy: Energy{
+			SwitchFJ: rep.Energy.SwitchFJ,
+			BufferFJ: rep.Energy.BufferFJ,
+			WireFJ:   rep.Energy.WireFJ,
+		},
+		Power: Power{
+			SwitchMW: rep.Total.SwitchMW,
+			BufferMW: rep.Total.BufferMW,
+			WireMW:   rep.Total.WireMW,
+			StaticMW: rep.Total.StaticMW,
+		},
+		Net: &NetReport{
+			Topology:         rep.Topology,
+			Nodes:            rep.Nodes,
+			OfferedCells:     rep.OfferedCells,
+			DeliveredCells:   rep.DeliveredCells,
+			NodeDroppedCells: rep.NodeDroppedCells,
+			LinkDroppedCells: rep.LinkDroppedCells,
+			DeliveryRatio:    rep.DeliveryRatio,
+			AvgHops:          rep.AvgHops,
+		},
+	}
+	if bits := float64(rep.DeliveredCells) * float64(sd.Fabric.CellBits); bits > 0 {
+		out.EnergyPerBitFJ = rep.Energy.TotalFJ() / bits
+	}
+	return out, nil
+}
+
+// RunOptions tunes a grid run.
+type RunOptions struct {
+	// Workers bounds the sweep parallelism (0 = one per core, 1 =
+	// sequential). Results are bit-identical for any worker count.
+	Workers int
+	// OnPoint, when non-nil, streams progress: it is called once per
+	// completed point with the point's index in enumeration order and
+	// the total point count. Calls are serialized but arrive in
+	// completion order, not index order.
+	OnPoint func(index, total int, sc Scenario, r Result)
+}
+
+// GridPoint is one enumerated scenario — in Resolved form, every
+// defaulted field filled — with its measurement. Done reports whether
+// the point actually ran: a cancelled or failed sweep leaves the
+// remaining points' Done false with a zero Result.
+type GridPoint struct {
+	Scenario Scenario
+	Result   Result
+	Done     bool
+}
+
+// GridResult is a grid run's outcome, in enumeration order.
+type GridResult struct {
+	Points []GridPoint
+}
+
+// Results returns the completed results in enumeration order; on a
+// fully successful run that is every point.
+func (g *GridResult) Results() []Result {
+	out := make([]Result, 0, len(g.Points))
+	for _, p := range g.Points {
+		if p.Done {
+			out = append(out, p.Result)
+		}
+	}
+	return out
+}
+
+// Run enumerates the grid and executes every scenario on the
+// deterministic sweep engine. Cancelling ctx stops the sweep between
+// points: the returned GridResult keeps every completed point's result
+// intact (Done marks them) alongside ctx's error. A failing point
+// aborts the sweep the same way, returning its wrapped error.
+func (g Grid) Run(ctx context.Context, opt RunOptions) (*GridResult, error) {
+	scenarios, err := g.Enumerate()
+	if err != nil {
+		return nil, err
+	}
+	// Resolve defaults up front so the callback and the returned grid
+	// points carry the coordinates that actually ran, even when the
+	// spec leaned on defaults (a hand-written fig9 spec without a
+	// ports axis still reports 16-port results as 16-port).
+	for i := range scenarios {
+		scenarios[i] = scenarios[i].Resolved()
+	}
+	var mu sync.Mutex
+	n := len(scenarios)
+	results, done, err := sweep.MapCtx(ctx, opt.Workers, scenarios, func(i int, sc Scenario) (Result, error) {
+		r, rerr := RunScenario(sc)
+		if rerr == nil && opt.OnPoint != nil {
+			mu.Lock()
+			opt.OnPoint(i, n, sc, r)
+			mu.Unlock()
+		}
+		return r, rerr
+	})
+	out := &GridResult{Points: make([]GridPoint, n)}
+	for i, sc := range scenarios {
+		out.Points[i] = GridPoint{Scenario: sc}
+		if i < len(done) && done[i] {
+			out.Points[i].Result = results[i]
+			out.Points[i].Done = true
+		}
+	}
+	return out, err
+}

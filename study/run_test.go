@@ -1,0 +1,293 @@
+package study_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"fabricpower/study"
+)
+
+func quickSim() study.SimSpec {
+	w := uint64(60)
+	return study.SimSpec{WarmupSlots: &w, MeasureSlots: 300, Seed: 11}
+}
+
+func quickGrid() study.Grid {
+	return study.Grid{
+		Base: study.Scenario{
+			Fabric: study.FabricSpec{Arch: "crossbar", Ports: 8},
+			Sim:    quickSim(),
+		},
+		Axes: []study.Axis{
+			{Name: "arch", Strings: []string{"crossbar", "banyan"}},
+			{Name: "load", Floats: []float64{0.1, 0.3}},
+		},
+	}
+}
+
+// TestGridRunWorkerDeterminism extends the sweep guarantee to the
+// public grid API: any worker count, bit-identical results.
+func TestGridRunWorkerDeterminism(t *testing.T) {
+	seq, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 8} {
+		par, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d grid differs from sequential run", workers)
+		}
+	}
+}
+
+// TestGridRunCancellation pins the acceptance contract: a context
+// cancelled mid-sweep stops the grid between points and the completed
+// points' results survive intact, bit-identical to an uninterrupted
+// run at the same indices.
+func TestGridRunCancellation(t *testing.T) {
+	full, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	partial, err := quickGrid().Run(ctx, study.RunOptions{
+		Workers: 1,
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result) {
+			if i == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial.Points) != len(full.Points) {
+		t.Fatalf("partial grid lost its shape: %d vs %d points", len(partial.Points), len(full.Points))
+	}
+	completed := 0
+	for i, pt := range partial.Points {
+		if !pt.Done {
+			if pt.Result.Slots != 0 {
+				t.Fatalf("unrun point %d carries a result", i)
+			}
+			continue
+		}
+		completed++
+		if !reflect.DeepEqual(pt.Result, full.Points[i].Result) {
+			t.Fatalf("partial point %d differs from the uninterrupted run", i)
+		}
+	}
+	if completed == 0 || completed == len(partial.Points) {
+		t.Fatalf("cancellation should leave a strict subset, got %d/%d", completed, len(partial.Points))
+	}
+	if got := len(partial.Results()); got != completed {
+		t.Fatalf("Results() returned %d, want %d", got, completed)
+	}
+}
+
+// TestGridRunStreamsProgress: the callback sees every point exactly
+// once with the right total.
+func TestGridRunStreamsProgress(t *testing.T) {
+	seen := map[int]int{}
+	gr, err := quickGrid().Run(context.Background(), study.RunOptions{
+		Workers: 4,
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result) {
+			if total != 4 {
+				t.Errorf("total = %d, want 4", total)
+			}
+			seen[i]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(gr.Points) {
+		t.Fatalf("callback saw %d points, want %d", len(seen), len(gr.Points))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %d seen %d times", i, n)
+		}
+	}
+}
+
+// TestRunScenarioNetwork: a network scenario runs end to end and
+// reports network-level measurements.
+func TestRunScenarioNetwork(t *testing.T) {
+	sc := study.Scenario{
+		Model:   study.ModelSpec{Static: true},
+		Traffic: study.TrafficSpec{Load: 0.2},
+		DPM:     "idlegate",
+		Sim:     quickSim(),
+		Network: &study.NetworkSpec{Topology: "ring", Nodes: 4, Routing: "shortest", Matrix: "uniform"},
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net == nil || r.Net.DeliveredCells == 0 {
+		t.Fatalf("network scenario should deliver cells: %+v", r.Net)
+	}
+	if r.Power.TotalMW() <= 0 || r.Power.StaticMW <= 0 {
+		t.Fatalf("managed static network should draw power: %+v", r.Power)
+	}
+}
+
+// TestRunScenarioTrafficKinds: every built-in traffic kind runs.
+func TestRunScenarioTrafficKinds(t *testing.T) {
+	for _, kind := range []string{"uniform", "bursty", "hotspot"} {
+		sc := study.Scenario{
+			Fabric:  study.FabricSpec{Arch: "fullyconnected", Ports: 8},
+			Traffic: study.TrafficSpec{Kind: kind, Load: 0.3},
+			Sim:     quickSim(),
+		}
+		r, err := study.RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if r.Power.TotalMW() <= 0 {
+			t.Fatalf("%s: no power", kind)
+		}
+	}
+	// Unknown kinds and bad references fail loudly.
+	sc := study.Scenario{Traffic: study.TrafficSpec{Kind: "antigravity", Load: 0.1}, Sim: quickSim()}
+	if _, err := study.RunScenario(sc); err == nil {
+		t.Fatal("unknown traffic kind should fail")
+	}
+	sc = study.Scenario{DPM: "perpetualmotion", Sim: quickSim()}
+	if _, err := study.RunScenario(sc); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+// constSource injects port 0 → port 1 every slot: the smallest useful
+// pluggable traffic source.
+type constSource struct{}
+
+func (constSource) Cells(slot uint64, emit func(study.Injection)) {
+	emit(study.Injection{Port: 0, Dest: 1})
+}
+
+// TestRegisterTraffic: an externally registered traffic kind drives a
+// scenario by name.
+func TestRegisterTraffic(t *testing.T) {
+	if err := study.RegisterTraffic("test-const", func(spec study.TrafficSpec, ports int, seed int64) (study.TrafficSource, error) {
+		return constSource{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := study.RegisterTraffic("uniform", nil); err == nil {
+		t.Fatal("built-in kind must be rejected")
+	}
+	sc := study.Scenario{
+		Fabric:  study.FabricSpec{Arch: "crossbar", Ports: 4},
+		Traffic: study.TrafficSpec{Kind: "test-const"},
+		Sim:     quickSim(),
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cell per slot, 4 ports: throughput = 1/4.
+	if r.Throughput < 0.24 || r.Throughput > 0.26 {
+		t.Fatalf("const source throughput = %g, want 0.25", r.Throughput)
+	}
+}
+
+// gateAllPolicy gates every port unconditionally — a degenerate but
+// observable pluggable policy.
+type gateAllPolicy struct{}
+
+func (gateAllPolicy) Reset(int) {}
+func (gateAllPolicy) Decide(obs *study.PolicyObservation, dec *study.PolicyDecision) {
+	for p := range dec.GatePort {
+		dec.GatePort[p] = true
+	}
+}
+
+// TestRegisterDPMPolicy: an externally registered policy drives a
+// managed scenario by name, and its gating is visible in the ledger.
+func TestRegisterDPMPolicy(t *testing.T) {
+	if err := study.RegisterDPMPolicy("test-gateall", func() study.Policy { return gateAllPolicy{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := study.RegisterDPMPolicy("alwayson", func() study.Policy { return gateAllPolicy{} }); err == nil {
+		t.Fatal("built-in policy name must be rejected")
+	}
+	sc := study.Scenario{
+		Model:   study.ModelSpec{Static: true},
+		Fabric:  study.FabricSpec{Arch: "crossbar", Ports: 4},
+		Traffic: study.TrafficSpec{Load: 0.3},
+		DPM:     "test-gateall",
+		Sim:     quickSim(),
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DPM == nil || r.DPM.GatedPortSlots == 0 {
+		t.Fatalf("gate-all policy should gate port-slots: %+v", r.DPM)
+	}
+	// Everything gated from slot 0: nothing can traverse the fabric.
+	if r.Throughput != 0 {
+		t.Fatalf("gate-all throughput = %g, want 0", r.Throughput)
+	}
+}
+
+// TestRegisterNetworkExtensions: topology, routing and matrix plug-ins
+// compose into a runnable network scenario.
+func TestRegisterNetworkExtensions(t *testing.T) {
+	// A 3-node triangle.
+	if err := study.RegisterTopology("test-triangle", func(nodes int) (study.Graph, error) {
+		return study.Graph{Nodes: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Clockwise-only routing: always route via ascending node order.
+	if err := study.RegisterRouting("test-direct", func(v study.NetworkView, flows []study.FlowDemand) ([][]int, error) {
+		paths := make([][]int, len(flows))
+		for i, f := range flows {
+			paths[i] = []int{f.Src, f.Dst} // triangle: every pair adjacent
+		}
+		return paths, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// All demand from host 0 to host 1.
+	if err := study.RegisterMatrix("test-pair", func(hosts int, load float64) ([][]float64, error) {
+		r := make([][]float64, hosts)
+		for i := range r {
+			r[i] = make([]float64, hosts)
+		}
+		r[0][1] = load
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := study.Scenario{
+		Traffic: study.TrafficSpec{Load: 0.3},
+		Sim:     quickSim(),
+		Network: &study.NetworkSpec{
+			Topology: "test-triangle",
+			Nodes:    3,
+			Routing:  "test-direct",
+			Matrix:   "test-pair",
+		},
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net == nil || r.Net.DeliveredCells == 0 {
+		t.Fatalf("plug-in network should deliver: %+v", r.Net)
+	}
+	if r.Net.AvgHops != 1 {
+		t.Fatalf("direct triangle routing should average 1 hop, got %g", r.Net.AvgHops)
+	}
+}

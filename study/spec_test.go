@@ -1,0 +1,273 @@
+package study_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fabricpower/internal/exp"
+	"fabricpower/study"
+)
+
+// fig10Spec is the reference spec the golden-file tests pin: the
+// fig10 subcommand at 2 sizes and quick slots.
+func fig10Spec() study.Spec {
+	return exp.Fig10Spec(study.PaperModel(), []int{4, 8}, 0.5,
+		exp.SimParams{MeasureSlots: 300, Seed: 1})
+}
+
+// update regenerates the golden files instead of comparing:
+// UPDATE_GOLDEN=1 go test ./study -run Golden
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+// TestSpecGoldenEncode pins the on-disk JSON schema: an encoded spec
+// must match the checked-in golden file byte for byte, so accidental
+// schema changes (renamed fields, reordered keys, lost omitempty) fail
+// loudly.
+
+func TestSpecGoldenEncode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fig10Spec().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig10-spec.golden.json")
+	if update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("encoded spec drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSpecGoldenRoundTrip: decoding the golden file reproduces the
+// constructed spec exactly, and re-encoding it is byte-stable.
+func TestSpecGoldenRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fig10-spec.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := study.DecodeSpec(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, fig10Spec()) {
+		t.Fatalf("decoded spec differs from constructed:\n%+v\n%+v", decoded, fig10Spec())
+	}
+	var buf bytes.Buffer
+	if err := decoded.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("re-encoded spec is not byte-stable")
+	}
+}
+
+// TestNetSpecGolden covers the network block's schema the same way.
+func TestNetSpecGolden(t *testing.T) {
+	spec := exp.NetSpec(study.ModelSpec{Static: true}, exp.NetworkStudyOptions{
+		Topologies: []string{"ring", "fattree"},
+		Nodes:      4,
+		Routings:   []string{"shortest", "consolidate"},
+		Policies:   []string{"alwayson", "idlegate"},
+		Loads:      []float64{0.1, 0.3},
+	}, exp.SimParams{MeasureSlots: 500, Seed: 3, CellBits: 256})
+	var buf bytes.Buffer
+	if err := spec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "net-spec.golden.json")
+	if update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("net spec drifted from golden:\n%s", buf.Bytes())
+	}
+	decoded, err := study.DecodeSpec(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, spec) {
+		t.Fatal("decoded net spec differs from constructed")
+	}
+}
+
+// TestDecodeRejectsUnknownFields: typos in scenario files must fail
+// loudly, not silently select defaults.
+func TestDecodeRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"study": "fig9", "base": {"farbic": {"arch": "banyan"}}}`,
+		`{"base": {"fabric": {"arch": "banyan", "prots": 8}}}`,
+		`{"base": {"sim": {"wamupSlots": 10}}}`,
+		`{"base": {"network": {"topolgy": "ring"}}}`,
+	}
+	for _, c := range cases {
+		if _, err := study.DecodeSpec(strings.NewReader(c)); err == nil {
+			t.Errorf("unknown field accepted: %s", c)
+		}
+	}
+	if _, err := study.DecodeScenario(strings.NewReader(`{"fabirc": {}}`)); err == nil {
+		t.Error("DecodeScenario accepted an unknown field")
+	}
+}
+
+// TestDecodeValidates: structurally bad scenarios are rejected at
+// decode time.
+func TestDecodeValidates(t *testing.T) {
+	cases := []string{
+		`{"base": {"fabric": {"arch": "toroidal"}}}`,
+		`{"base": {"queue": "lifo"}}`,
+		`{"base": {"traffic": {"load": 1.5}}}`,
+		`{"base": {"fabric": {"ports": 8}, "network": {"topology": "ring", "nodes": 4}}}`,
+	}
+	for _, c := range cases {
+		if _, err := study.DecodeSpec(strings.NewReader(c)); err == nil {
+			t.Errorf("invalid spec accepted: %s", c)
+		}
+	}
+}
+
+// TestEnumerateOrderAndFeasibility pins the sweep order (first axis
+// outermost) and the Batcher-Banyan < 4 ports filter.
+func TestEnumerateOrderAndFeasibility(t *testing.T) {
+	g := study.Grid{
+		Base: study.Scenario{},
+		Axes: []study.Axis{
+			{Name: "ports", Ints: []int{2, 4}},
+			{Name: "arch", Strings: []string{"crossbar", "batcherbanyan"}},
+		},
+	}
+	scs, err := g.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pt struct {
+		arch  string
+		ports int
+	}
+	var got []pt
+	for _, sc := range scs {
+		got = append(got, pt{sc.Fabric.Arch, sc.Fabric.Ports})
+	}
+	want := []pt{
+		{"crossbar", 2},
+		{"crossbar", 4}, {"batcherbanyan", 4},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("enumeration = %v, want %v", got, want)
+	}
+}
+
+// TestEnumerateIsolatesNetworkBlocks: axis applications on one grid
+// point must not leak into siblings through the shared Network pointer.
+func TestEnumerateIsolatesNetworkBlocks(t *testing.T) {
+	g := study.Grid{
+		Base: study.Scenario{Network: &study.NetworkSpec{Nodes: 4}},
+		Axes: []study.Axis{
+			{Name: "topology", Strings: []string{"ring", "star"}},
+			{Name: "routing", Strings: []string{"shortest", "consolidate"}},
+		},
+	}
+	scs, err := g.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	if scs[0].Network.Topology != "ring" || scs[3].Network.Topology != "star" {
+		t.Fatalf("topology axis leaked: %+v", scs)
+	}
+	if scs[0].Network.Routing != "shortest" || scs[1].Network.Routing != "consolidate" {
+		t.Fatalf("routing axis leaked: %+v", scs)
+	}
+	if g.Base.Network.Topology != "" {
+		t.Fatal("enumeration mutated the base scenario")
+	}
+}
+
+// TestUnknownAxisRejected: grids over unregistered axes fail up front.
+func TestUnknownAxisRejected(t *testing.T) {
+	g := study.Grid{Axes: []study.Axis{{Name: "voltage", Floats: []float64{1.0}}}}
+	if _, err := g.Enumerate(); err == nil {
+		t.Fatal("unknown axis should fail")
+	}
+	g = study.Grid{Axes: []study.Axis{{Name: "load"}}}
+	if _, err := g.Enumerate(); err == nil {
+		t.Fatal("empty axis should fail")
+	}
+	g = study.Grid{Axes: []study.Axis{{Name: "load", Ints: []int{1}}}}
+	if _, err := g.Enumerate(); err == nil {
+		t.Fatal("wrong value type should fail")
+	}
+}
+
+// TestRegisterAxis: a registered axis becomes sweepable.
+func TestRegisterAxis(t *testing.T) {
+	if err := study.RegisterAxis("testaxis-burst", func(sc *study.Scenario, a study.Axis, i int) error {
+		sc.Traffic.MeanBurstSlots = a.Floats[i]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := study.RegisterAxis("testaxis-burst", nil); err == nil {
+		t.Fatal("nil applier should fail")
+	}
+	g := study.Grid{Axes: []study.Axis{{Name: "testaxis-burst", Floats: []float64{5, 20}}}}
+	scs, err := g.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Traffic.MeanBurstSlots != 5 || scs[1].Traffic.MeanBurstSlots != 20 {
+		t.Fatalf("registered axis not applied: %+v", scs)
+	}
+}
+
+// TestScenarioUnsetVersusZero pins the pointer semantics the schema
+// exists for: absent warmupSlots selects the default, an explicit 0
+// stays 0 — and both survive a JSON round trip.
+func TestScenarioUnsetVersusZero(t *testing.T) {
+	absent, err := study.DecodeScenario(strings.NewReader(`{"fabric": {"arch": "crossbar", "ports": 4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absent.Sim.WarmupSlots != nil {
+		t.Fatal("absent warmupSlots must decode to nil (default)")
+	}
+	explicit, err := study.DecodeScenario(strings.NewReader(
+		`{"fabric": {"arch": "crossbar", "ports": 4}, "sim": {"warmupSlots": 0}, "traffic": {"kind": "hotspot", "load": 0.2, "hotspotFraction": 0}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Sim.WarmupSlots == nil || *explicit.Sim.WarmupSlots != 0 {
+		t.Fatal("explicit warmupSlots: 0 must decode to a literal zero")
+	}
+	if explicit.Traffic.HotspotFraction == nil || *explicit.Traffic.HotspotFraction != 0 {
+		t.Fatal("explicit hotspotFraction: 0 must decode to a literal zero")
+	}
+	out, err := explicit.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := study.DecodeScenario(bytes.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sim.WarmupSlots == nil || *back.Sim.WarmupSlots != 0 {
+		t.Fatalf("explicit zero lost in round trip: %s", out)
+	}
+}
