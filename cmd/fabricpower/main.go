@@ -14,8 +14,9 @@
 //	fabricpower simulate -arch banyan -ports 16 -load 0.3
 //	fabricpower dpm [-policies alwayson,idlegate,...] [-archs banyan] [-loads 0.1,0.3] [-workers N]
 //	fabricpower net [-topos fattree,ring] [-nodes 4] [-routings shortest,consolidate]
-//	                [-policies alwayson,idlegate] [-matrix uniform] [-loads 0.1,0.3] [-workers N]
-//	fabricpower run <spec.json|-> [-workers N] [-csv file]
+//	                [-policies alwayson,idlegate] [-matrix uniform] [-traffic bursty]
+//	                [-shards N] [-loads 0.1,0.3] [-workers N]
+//	fabricpower run <spec.json|-> [-workers N] [-csv file] [-json]
 //
 // Every study subcommand accepts -print-scenario: instead of running,
 // it emits the equivalent declarative spec as JSON. Feeding that spec
@@ -118,9 +119,11 @@ commands:
               with static power attached (gating, sleep, DVFS savings)
   net         network-of-routers study: topology × routing × DPM policy
               × load grid, multi-hop flows over a backbone of full
-              fabric+router nodes
+              fabric+router nodes (-traffic routes any injection kind
+              across hops, -shards parallelizes each network's kernel)
   run         execute a declarative scenario/study spec (JSON file or
-              '-' for stdin); see the study package and README
+              '-' for stdin); -json emits per-point result records as
+              JSON lines; see the study package and README
 
 study subcommands accept -print-scenario to emit their declarative spec
 instead of running; "fabricpower <cmd> -print-scenario | fabricpower
@@ -426,6 +429,8 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 	routingsFlag := fs.String("routings", "", "comma-separated routing policies (default: shortest,consolidate)")
 	policiesFlag := fs.String("policies", "", "comma-separated DPM policies (default: alwayson,idlegate)")
 	matrix := fs.String("matrix", "uniform", "traffic matrix: uniform | gravity | hotspot")
+	trafficKind := fs.String("traffic", "", "per-flow traffic kind: uniform (default) | bursty | packet | registered kinds")
+	shards := fs.Int("shards", 0, "router shards per network (0/1 = single-threaded, -1 = one per core; results are identical for any value)")
 	archName := fs.String("arch", "crossbar", "per-node fabric architecture")
 	loadsFlag := fs.String("loads", "", "comma-separated per-host offered loads (default 0.1,0.2,0.3,0.4,0.5)")
 	noStatic := fs.Bool("nostatic", false, "zero static power: dynamic-only accounting (routing and gating still shape traffic)")
@@ -450,6 +455,8 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 		Policies:   parseNames(*policiesFlag),
 		Loads:      loads,
 		Matrix:     *matrix,
+		Traffic:    *trafficKind,
+		Shards:     *shards,
 	}, sf.params())
 	return sf.emit(ctx, spec, w)
 }
@@ -486,6 +493,7 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	csvPath := fs.String("csv", "", "also write CSV to this file (study kinds with a CSV form)")
+	jsonOut := fs.Bool("json", false, "emit per-point study.Result records as JSON lines instead of the rendered report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -516,6 +524,24 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	spec, err := study.DecodeSpec(r)
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		if *csvPath != "" {
+			return fmt.Errorf("run: -json and -csv are mutually exclusive")
+		}
+		if spec.Kind == "table1" {
+			return fmt.Errorf("run: study kind table1 characterizes gates; it has no per-point result records")
+		}
+		// A cancelled or failed sweep still emits every completed
+		// point's record (WriteResultRecords skips the rest) before
+		// surfacing the error.
+		gr, runErr := spec.Grid.Run(ctx, study.RunOptions{Workers: *workers})
+		if gr != nil {
+			if err := study.WriteResultRecords(w, gr.Points); err != nil {
+				return err
+			}
+		}
+		return runErr
 	}
 	return runAndRender(ctx, spec, *workers, *csvPath, w)
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fabricpower/study"
 )
 
 func TestParseSizes(t *testing.T) {
@@ -136,6 +139,7 @@ func TestPrintScenarioRoundTripByteIdentical(t *testing.T) {
 		{"simulate", []string{"-arch", "banyan", "-ports", "8", "-load", "0.3", "-slots", "200"}},
 		{"dpm", []string{"-archs", "banyan", "-ports", "8", "-loads", "0.1", "-slots", "200"}},
 		{"net", []string{"-topos", "ring", "-nodes", "4", "-loads", "0.1", "-slots", "200"}},
+		{"net", []string{"-topos", "fattree", "-nodes", "4", "-traffic", "bursty", "-shards", "2", "-loads", "0.1", "-slots", "200"}},
 		{"table1", []string{"-cycles", "24", "-width", "8"}},
 	}
 	for _, tc := range cases {
@@ -180,6 +184,45 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 	}
 	if err := dispatch(ctx, "run", nil, io.Discard); err == nil {
 		t.Error("missing path should fail")
+	}
+}
+
+// TestRunJSON: `run -json` emits one machine-readable record per grid
+// point instead of the rendered report.
+func TestRunJSON(t *testing.T) {
+	ctx := context.Background()
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	doc := `{
+  "version": 1,
+  "base": {
+    "fabric": {"arch": "crossbar", "ports": 4},
+    "sim": {"warmupSlots": 50, "measureSlots": 200, "seed": 2}
+  },
+  "axes": [{"name": "load", "floats": [0.1, 0.3]}]
+}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := dispatch(ctx, "run", []string{"-json", spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("records = %d, want 2:\n%s", len(lines), out.String())
+	}
+	for i, line := range lines {
+		var rec study.ResultRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not a record: %v", i, err)
+		}
+		if rec.Index != i || rec.Result.Slots != 200 {
+			t.Errorf("record %d = index %d, slots %d", i, rec.Index, rec.Result.Slots)
+		}
+	}
+	// -json and -csv cannot both be honored.
+	if err := dispatch(ctx, "run", []string{"-json", "-csv", "x.csv", spec}, io.Discard); err == nil {
+		t.Error("-json with -csv should fail")
 	}
 }
 

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates the pinned scenario reports instead of
+// comparing: UPDATE_GOLDEN=1 go test ./cmd/fabricpower -run ScenarioGolden
+var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""
+
+// TestScenarioGoldenOutputs is the scenario corpus as a regression
+// suite: every checked-in scenarios/*.json runs through `fabricpower
+// run` and must reproduce its pinned report in scenarios/golden/ byte
+// for byte. A model change that shifts any number shows up here as a
+// diff — re-pin deliberately with UPDATE_GOLDEN=1 and review what
+// moved.
+func TestScenarioGoldenOutputs(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario files reference repo-relative paths (trace recordings),
+	// so run from the repo root like CI and users do.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(repoRoot); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	specs, err := filepath.Glob(filepath.Join("scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no scenario files found; corpus missing")
+	}
+	for _, spec := range specs {
+		name := strings.TrimSuffix(filepath.Base(spec), ".json")
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := dispatch(context.Background(), "run", []string{spec}, &out); err != nil {
+				t.Fatalf("running %s: %v", spec, err)
+			}
+			golden := filepath.Join("scenarios", "golden", name+".txt")
+			if updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden report (regenerate with UPDATE_GOLDEN=1 go test ./cmd/fabricpower -run ScenarioGolden): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("%s drifted from its pinned report:\n--- got ---\n%s\n--- want ---\n%s", spec, out.String(), want)
+			}
+		})
+	}
+}

@@ -47,6 +47,12 @@ func main() {
 		Routings:   []string{"shortest", "consolidate"},
 		Policies:   []string{"alwayson", "idlegate"},
 		Loads:      []float64{0.10, 0.30},
+		// Bursty flows (on/off Markov bursts crossing every hop) and a
+		// sharded kernel: each network steps its routers on one shard
+		// per core with the deterministic two-phase barrier — the
+		// results are bit-identical to -shards 1.
+		Traffic: "bursty",
+		Shards:  -1,
 	}
 	study, err := exp.RunNetworkStudy(model, opt, exp.SimParams{MeasureSlots: *slots, Seed: 1})
 	if err != nil {

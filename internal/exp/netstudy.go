@@ -53,6 +53,16 @@ type NetworkStudyOptions struct {
 	// per study so every grid point compares under the same demand
 	// shape.
 	Matrix string
+	// Traffic names the per-flow injection process (default "uniform"
+	// Bernoulli): any network-capable traffic kind — "bursty",
+	// "packet", a RegisterTraffic extension — so burstiness crosses
+	// hops. One kind per study, like Matrix.
+	Traffic string
+	// Shards partitions each network's routers across worker
+	// goroutines (deterministic two-phase kernel; results are
+	// bit-identical for any value). 0 or 1 is single-threaded, -1 one
+	// shard per core.
+	Shards int
 }
 
 func (o NetworkStudyOptions) withDefaults() NetworkStudyOptions {

@@ -111,7 +111,8 @@ func Fig9Spec(model study.ModelSpec, sizes []int, loads []float64, p SimParams) 
 		loads = DefaultLoads()
 	}
 	return study.Spec{
-		Kind: "fig9",
+		Version: study.SpecVersion,
+		Kind:    "fig9",
 		Grid: study.Grid{
 			Base: specBase(model, p),
 			Axes: []study.Axis{
@@ -134,7 +135,8 @@ func Fig10Spec(model study.ModelSpec, sizes []int, load float64, p SimParams) st
 	base := specBase(model, p)
 	base.Traffic.Load = load
 	return study.Spec{
-		Kind: "fig10",
+		Version: study.SpecVersion,
+		Kind:    "fig10",
 		Grid: study.Grid{
 			Base: base,
 			Axes: []study.Axis{
@@ -158,7 +160,8 @@ func CrossoverSpec(model study.ModelSpec, ports int, loads []float64, p SimParam
 	base := specBase(model, p)
 	base.Fabric.Ports = ports
 	return study.Spec{
-		Kind: "crossover",
+		Version: study.SpecVersion,
+		Kind:    "crossover",
 		Grid: study.Grid{
 			Base: base,
 			Axes: []study.Axis{
@@ -179,7 +182,8 @@ func SaturationSpec(model study.ModelSpec, ports int, p SimParams) study.Spec {
 	base.Fabric.Arch = core.Crossbar.String()
 	base.Fabric.Ports = ports
 	return study.Spec{
-		Kind: "saturate",
+		Version: study.SpecVersion,
+		Kind:    "saturate",
 		Grid: study.Grid{
 			Base: base,
 			Axes: []study.Axis{
@@ -207,7 +211,8 @@ func DPMSpec(model study.ModelSpec, policies []string, archs []core.Architecture
 	base := specBase(model, p)
 	base.Fabric.Ports = ports
 	return study.Spec{
-		Kind: "dpm",
+		Version: study.SpecVersion,
+		Kind:    "dpm",
 		Grid: study.Grid{
 			Base: base,
 			Axes: []study.Axis{
@@ -225,9 +230,11 @@ func NetSpec(model study.ModelSpec, opt NetworkStudyOptions, p SimParams) study.
 	opt = opt.withDefaults()
 	base := specBase(model, p)
 	base.Fabric.Arch = opt.Arch.String()
-	base.Network = &study.NetworkSpec{Nodes: opt.Nodes, Matrix: opt.Matrix}
+	base.Traffic.Kind = opt.Traffic
+	base.Network = &study.NetworkSpec{Nodes: opt.Nodes, Matrix: opt.Matrix, Shards: opt.Shards}
 	return study.Spec{
-		Kind: "net",
+		Version: study.SpecVersion,
+		Kind:    "net",
 		Grid: study.Grid{
 			Base: base,
 			Axes: []study.Axis{
@@ -246,14 +253,15 @@ func PointSpec(model study.ModelSpec, arch core.Architecture, ports int, load fl
 	base.Fabric.Arch = arch.String()
 	base.Fabric.Ports = ports
 	base.Traffic.Load = load
-	return study.Spec{Kind: "point", Grid: study.Grid{Base: base}}
+	return study.Spec{Version: study.SpecVersion, Kind: "point", Grid: study.Grid{Base: base}}
 }
 
 // Table1Spec describes the gate-level node-switch characterization.
 func Table1Spec(model study.ModelSpec, opt Table1Options) study.Spec {
 	opt = opt.withDefaults()
 	return study.Spec{
-		Kind: "table1",
+		Version: study.SpecVersion,
+		Kind:    "table1",
 		Grid: study.Grid{
 			Base: study.Scenario{
 				Model: model,
@@ -357,7 +365,7 @@ type GenericReport struct {
 func (g *GenericReport) Render(w io.Writer) error {
 	t := plot.Table{
 		Title: "Scenario grid",
-		Headers: []string{"arch", "ports", "dpm", "topology", "load",
+		Headers: []string{"arch", "ports", "dpm", "topology", "traffic", "load",
 			"delivered", "total_mW", "avg_lat"},
 	}
 	for _, pt := range g.Points {
@@ -373,7 +381,11 @@ func (g *GenericReport) Render(w io.Writer) error {
 			topo = r.Net.Topology
 			delivered = r.Net.DeliveryRatio
 		}
-		t.AddRow(r.Arch, fmt.Sprintf("%d", r.Ports), dpmName, topo,
+		kind := sc.Traffic.Kind
+		if kind == "" {
+			kind = "uniform"
+		}
+		t.AddRow(r.Arch, fmt.Sprintf("%d", r.Ports), dpmName, topo, kind,
 			fmtPct(sc.Traffic.Load), fmtPct(delivered),
 			fmtMW(r.Power.TotalMW()), fmt.Sprintf("%.2f", r.AvgLatencySlots))
 	}

@@ -1,0 +1,281 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"fabricpower/internal/traffic"
+)
+
+// FlowSource is the per-hop injection seam of the network kernel: one
+// instance drives one flow's arrival process. The kernel calls Inject
+// exactly once per flow per slot, in ascending slot order, and injects
+// a fresh cell at the flow's source edge whenever it returns true.
+//
+// Implementations must be deterministic functions of their construction
+// seed and the slot sequence, and must not allocate in Inject — it runs
+// on the slot hot path of every shard.
+type FlowSource interface {
+	Inject(slot uint64) bool
+}
+
+// FlowSourceFactory builds one flow's source. f is the routed flow
+// (Rate is the flow's demand in cells/slot), index its position in the
+// flow list, and seed the flow's deterministic stream seed (derived
+// from Config.Seed and the index, so every shard count replays the
+// identical arrivals).
+type FlowSourceFactory func(f Flow, index int, seed int64) (FlowSource, error)
+
+// Traffic selects the per-flow injection process of a network. The
+// zero value is the Bernoulli process at each flow's matrix rate — the
+// behavior network simulations always had.
+type Traffic struct {
+	// Kind names a built-in process: "" or "uniform" (Bernoulli),
+	// "bursty" (per-flow on/off Markov bursts), "packet" (trimodal
+	// variable-size packets segmented into back-to-back cell trains),
+	// or "trace" (cyclic replay of a recorded trace's slot pattern).
+	Kind string
+	// MeanBurstSlots tunes "bursty" (default 10).
+	MeanBurstSlots float64
+	// Trace supplies the recording for kind "trace". Flow i replays
+	// the injection slots of trace source port i mod (distinct ports),
+	// cyclically, so short traces sustain their load forever.
+	Trace *traffic.Trace
+	// New, when non-nil, overrides Kind with a custom per-flow factory
+	// — the hook the study layer uses to route registered traffic
+	// kinds through the network.
+	New FlowSourceFactory
+}
+
+// newSources builds one source per flow.
+func (tr Traffic) newSources(flows []Flow, cellBits int, baseSeed int64) ([]FlowSource, error) {
+	var idx *traceIndex
+	if tr.New == nil && tr.Kind == "trace" {
+		if tr.Trace == nil {
+			return nil, fmt.Errorf("netsim: traffic kind trace needs a trace")
+		}
+		var err error
+		idx, err = indexTrace(tr.Trace)
+		if err != nil {
+			return nil, err
+		}
+	}
+	srcs := make([]FlowSource, len(flows))
+	for fi := range flows {
+		seed := flowSeed(baseSeed, fi, saltInject)
+		src, err := tr.newSource(flows[fi], fi, seed, cellBits, idx)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: flow %d: %w", fi, err)
+		}
+		srcs[fi] = src
+	}
+	return srcs, nil
+}
+
+func (tr Traffic) newSource(f Flow, fi int, seed int64, cellBits int, idx *traceIndex) (FlowSource, error) {
+	if tr.New != nil {
+		return tr.New(f, fi, seed)
+	}
+	switch tr.Kind {
+	case "", "uniform":
+		return newBernoulliSource(f.Rate, seed), nil
+	case "bursty":
+		mean := tr.MeanBurstSlots
+		if mean == 0 {
+			mean = 10
+		}
+		return newOnOffSource(f.Rate, mean, seed)
+	case "packet":
+		return newPacketSource(f.Rate, cellBits, seed)
+	case "trace":
+		return idx.source(fi), nil
+	}
+	return nil, fmt.Errorf("unknown traffic kind %q (built-ins: uniform, bursty, packet, trace)", tr.Kind)
+}
+
+// Seed salts keep a flow's arrival coin stream and its payload stream
+// statistically independent.
+const (
+	saltInject  = 0x9e3779b97f4a7c15
+	saltPayload = 0xbf58476d1ce4e5b9
+)
+
+// flowSeed derives flow fi's stream seed from the experiment base seed
+// — an FNV-1a mix, so neighboring flow indices land far apart.
+func flowSeed(base int64, fi int, salt uint64) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ salt
+	for _, v := range [2]uint64{uint64(base), uint64(fi)} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return int64(h)
+}
+
+// bernoulliSource draws an independent coin at the flow's rate every
+// slot — the network analogue of the paper's adjustable packet
+// generation interval.
+type bernoulliSource struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+func newBernoulliSource(rate float64, seed int64) *bernoulliSource {
+	return &bernoulliSource{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *bernoulliSource) Inject(slot uint64) bool { return s.rng.Float64() < s.rate }
+
+// onOffSource is the bursty process: an on/off Markov chain that
+// injects every slot while ON. Mean load equals rate because the mean
+// gap is meanBurst·(1-rate)/rate.
+type onOffSource struct {
+	pOnToOff float64
+	pOffToOn float64
+	on       bool
+	rng      *rand.Rand
+}
+
+func newOnOffSource(rate, meanBurst float64, seed int64) (FlowSource, error) {
+	if meanBurst < 1 {
+		return nil, fmt.Errorf("mean burst must be >= 1 slot, got %g", meanBurst)
+	}
+	switch {
+	case rate <= 0:
+		return newBernoulliSource(0, seed), nil
+	case rate >= 1:
+		return newBernoulliSource(1, seed), nil
+	}
+	meanGap := meanBurst * (1 - rate) / rate
+	return &onOffSource{
+		pOnToOff: 1 / meanBurst,
+		pOffToOn: 1 / meanGap,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+func (s *onOffSource) Inject(slot uint64) bool {
+	if s.on {
+		if s.rng.Float64() < s.pOnToOff {
+			s.on = false
+		}
+	} else if s.rng.Float64() < s.pOffToOn {
+		s.on = true
+	}
+	return s.on
+}
+
+// packetSource models host traffic: variable-size packets (the classic
+// 40/576/1500-byte trimodal mix) are segmented into cells that leave
+// back to back, one per slot, so a long packet occupies its flow for
+// several consecutive slots — segmentation crossing every hop of the
+// path. Packet arrivals are thinned so the mean cell load equals the
+// flow's rate.
+type packetSource struct {
+	pArrival float64
+	cells    []int // cells per packet variant
+	probs    []float64
+	queued   int
+	rng      *rand.Rand
+}
+
+func newPacketSource(rate float64, cellBits int, seed int64) (FlowSource, error) {
+	if cellBits <= 0 {
+		return nil, fmt.Errorf("cell bits must be positive, got %d", cellBits)
+	}
+	sizes, probs := traffic.TrimodalSizesBits()
+	cells := make([]int, len(sizes))
+	mean := 0.0
+	for i, s := range sizes {
+		cells[i] = (s + cellBits - 1) / cellBits
+		mean += probs[i] * float64(cells[i])
+	}
+	return &packetSource{
+		pArrival: rate / mean,
+		cells:    cells,
+		probs:    probs,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+func (s *packetSource) Inject(slot uint64) bool {
+	if s.queued == 0 && s.rng.Float64() < s.pArrival {
+		r := s.rng.Float64()
+		acc := 0.0
+		s.queued = s.cells[len(s.cells)-1]
+		for i, p := range s.probs {
+			acc += p
+			if r < acc {
+				s.queued = s.cells[i]
+				break
+			}
+		}
+	}
+	if s.queued > 0 {
+		s.queued--
+		return true
+	}
+	return false
+}
+
+// traceIndex precomputes a trace's per-source-port injection slots so
+// every flow replaying the same port shares one sorted slot list.
+type traceIndex struct {
+	ports  []int            // distinct source ports, ascending
+	slots  map[int][]uint64 // ascending unique injection slots per port
+	period uint64           // replay wraps at last slot + 1
+}
+
+func indexTrace(tr *traffic.Trace) (*traceIndex, error) {
+	if len(tr.Entries) == 0 {
+		return nil, fmt.Errorf("netsim: empty trace")
+	}
+	idx := &traceIndex{slots: map[int][]uint64{}}
+	for _, e := range tr.Entries {
+		if e.Slot+1 > idx.period {
+			idx.period = e.Slot + 1
+		}
+		s := idx.slots[e.Src]
+		if len(s) == 0 || s[len(s)-1] != e.Slot {
+			idx.slots[e.Src] = append(s, e.Slot)
+		}
+	}
+	for p := range idx.slots {
+		idx.ports = append(idx.ports, p)
+	}
+	sort.Ints(idx.ports)
+	return idx, nil
+}
+
+// source builds flow fi's replayer: the slot pattern of trace port
+// fi mod (distinct ports), repeated with the trace's period.
+func (idx *traceIndex) source(fi int) FlowSource {
+	return &traceSource{
+		slots:  idx.slots[idx.ports[fi%len(idx.ports)]],
+		period: idx.period,
+	}
+}
+
+type traceSource struct {
+	slots  []uint64
+	period uint64
+	pos    int
+}
+
+func (s *traceSource) Inject(slot uint64) bool {
+	t := slot % s.period
+	if t == 0 {
+		s.pos = 0
+	}
+	for s.pos < len(s.slots) && s.slots[s.pos] < t {
+		s.pos++
+	}
+	return s.pos < len(s.slots) && s.slots[s.pos] == t
+}

@@ -1,11 +1,15 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/packet"
+	"fabricpower/internal/traffic"
 )
 
 func testConfig(t *Topology) Config {
@@ -449,38 +453,229 @@ func TestNetworkRejectsZeroCapacityLink(t *testing.T) {
 	}
 }
 
+// cutoffSource drives a wrapped source until the cutoff slot and goes
+// silent after it, so allocation tests can measure a live, warmed
+// network without the (necessarily allocating) cell creation.
+type cutoffSource struct {
+	inner  FlowSource
+	cutoff uint64
+}
+
+func (s *cutoffSource) Inject(slot uint64) bool {
+	if slot >= s.cutoff {
+		return false
+	}
+	return s.inner.Inject(slot)
+}
+
 // TestNetworkRouterSlotAllocationFree extends the single-device
-// hot-path guarantee to the network kernel: stepping every managed
-// router and forwarding its delivered cells (ring-buffer links, flow
-// state carried in the cells) must not touch the allocator. Source
-// injection is excluded — creating a cell necessarily allocates its
-// payload.
+// hot-path guarantee to the network kernel, sequential and sharded
+// alike: stepping every managed router, forwarding its delivered cells
+// (ring-buffer links, flow state carried in the cells, reused
+// outboxes) and running the two-phase barrier must not touch the
+// allocator. Source injection is excluded — creating a cell
+// necessarily allocates its payload — by cutting the (non-Bernoulli,
+// bursty) sources off after warmup.
 func TestNetworkRouterSlotAllocationFree(t *testing.T) {
-	topo, err := Ring(4)
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			topo, err := Ring(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := core.PaperModel()
+			model.Static = core.DefaultStaticPower()
+			cfg := testConfig(topo)
+			cfg.Model = model
+			cfg.Policy = "composite"
+			cfg.Load = 0.4
+			cfg.Shards = shards
+			cfg.Traffic = Traffic{New: func(f Flow, fi int, seed int64) (FlowSource, error) {
+				src, err := newOnOffSource(f.Rate, 10, seed)
+				if err != nil {
+					return nil, err
+				}
+				return &cutoffSource{inner: src, cutoff: 500}, nil
+			}}
+			net, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer net.Close()
+			// Warm the queues, slice capacities and the shard pool with
+			// live traffic.
+			slot := uint64(0)
+			for ; slot < 500; slot++ {
+				net.Step(slot)
+			}
+			allocs := testing.AllocsPerRun(300, func() {
+				net.Step(slot)
+				slot++
+			})
+			if allocs != 0 {
+				t.Errorf("sharded slot loop allocates %.1f times per slot, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestNetworkShardDeterminism pins the tentpole guarantee: for every
+// topology and traffic kind, the sharded kernel is bit-identical for
+// any shard count.
+func TestNetworkShardDeterminism(t *testing.T) {
+	tr := traffic.Record(mustInjector(t), 200)
+	topos := map[string]func() (*Topology, error){
+		"chain":   func() (*Topology, error) { return Chain(6) },
+		"ring":    func() (*Topology, error) { return Ring(5) },
+		"star":    func() (*Topology, error) { return Star(5) },
+		"fattree": func() (*Topology, error) { return FatTree2(2, 4) },
+	}
+	kinds := []Traffic{
+		{Kind: "uniform"},
+		{Kind: "bursty", MeanBurstSlots: 8},
+		{Kind: "packet"},
+		{Kind: "trace", Trace: tr},
+	}
+	for name, build := range topos {
+		for _, kind := range kinds {
+			kindName := kind.Kind
+			t.Run(name+"/"+kindName, func(t *testing.T) {
+				run := func(shards int) *Report {
+					topo, err := build()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := testConfig(topo)
+					cfg.Model.Static = core.DefaultStaticPower()
+					cfg.Policy = "idlegate"
+					cfg.Load = 0.25
+					cfg.Traffic = kind
+					cfg.Shards = shards
+					net, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer net.Close()
+					rep, err := net.Run(100, 400)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+				seq := run(1)
+				if seq.DeliveredCells == 0 {
+					t.Fatalf("%s/%s delivered nothing", name, kindName)
+				}
+				for _, shards := range []int{2, 3, -1} {
+					if par := run(shards); !reflect.DeepEqual(seq, par) {
+						t.Errorf("shards=%d report differs from sequential", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+func mustInjector(tb testing.TB) *traffic.Injector {
+	tb.Helper()
+	in, err := traffic.NewInjector(4, 0.3, packet.Config{CellBits: 256, BusWidth: 32}, nil, 5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// TestNetworkTrafficKindsShapePower pins the point of routing traffic
+// kinds through the network: at equal average load, bursty, packet and
+// trace arrivals produce different power totals than the Bernoulli
+// baseline — traffic shape, not just average load, sets the bill.
+func TestNetworkTrafficKindsShapePower(t *testing.T) {
+	tr := traffic.Record(mustInjector(t), 200)
+	run := func(kind Traffic) *Report {
+		topo, err := FatTree2(2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(topo)
+		cfg.Model.Static = core.DefaultStaticPower()
+		cfg.Policy = "idlegate"
+		cfg.Load = 0.2
+		cfg.Traffic = kind
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		rep, err := net.Run(200, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.DeliveredCells == 0 {
+			t.Fatalf("kind %q delivered nothing", kind.Kind)
+		}
+		return rep
+	}
+	base := run(Traffic{Kind: "uniform"})
+	for _, kind := range []Traffic{
+		{Kind: "bursty", MeanBurstSlots: 16},
+		{Kind: "packet"},
+		{Kind: "trace", Trace: tr},
+	} {
+		rep := run(kind)
+		if diff := math.Abs(rep.Total.TotalMW() - base.Total.TotalMW()); diff < 1e-6 {
+			t.Errorf("kind %q total %.6f mW indistinguishable from Bernoulli %.6f mW",
+				kind.Kind, rep.Total.TotalMW(), base.Total.TotalMW())
+		}
+	}
+}
+
+// TestNetworkCustomFlowSource: the Traffic.New seam drives injection
+// with a caller-supplied process.
+func TestNetworkCustomFlowSource(t *testing.T) {
+	topo, err := Chain(4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	model := core.PaperModel()
-	model.Static = core.DefaultStaticPower()
 	cfg := testConfig(topo)
-	cfg.Model = model
-	cfg.Policy = "composite"
-	cfg.Load = 0.4
+	cfg.Flows = []Flow{{Src: 0, Dst: 3, Rate: 0.5}}
+	cfg.Traffic = Traffic{New: func(f Flow, fi int, seed int64) (FlowSource, error) {
+		return everyThird{}, nil
+	}}
 	net, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Warm the queues and slice capacities with live traffic.
-	slot := uint64(0)
-	for ; slot < 500; slot++ {
-		net.Step(slot)
+	rep, err := net.Run(0, 300)
+	if err != nil {
+		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(300, func() {
-		net.stepRouters(slot)
-		slot++
-	})
-	if allocs != 0 {
-		t.Errorf("per-router slot loop allocates %.1f times per slot, want 0", allocs)
+	if rep.OfferedCells != 100 {
+		t.Errorf("every-3rd-slot source offered %d cells over 300 slots, want 100", rep.OfferedCells)
+	}
+	if rep.DeliveredCells == 0 {
+		t.Error("custom source delivered nothing")
+	}
+}
+
+type everyThird struct{}
+
+func (everyThird) Inject(slot uint64) bool { return slot%3 == 0 }
+
+// TestNetworkUnknownTrafficKind: name resolution fails loudly.
+func TestNetworkUnknownTrafficKind(t *testing.T) {
+	topo, err := Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(topo)
+	cfg.Load = 0.2
+	cfg.Traffic = Traffic{Kind: "antigravity"}
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown traffic kind accepted")
+	}
+	cfg.Traffic = Traffic{Kind: "trace"} // no trace attached
+	if _, err := New(cfg); err == nil {
+		t.Error("trace kind without a trace accepted")
 	}
 }
 
@@ -509,5 +704,53 @@ func BenchmarkNetworkStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net.Step(slot)
 		slot++
+	}
+}
+
+// bench64Topology builds the ≥64-router ring the sharded benchmark
+// scales over, with 16-port routers so each node carries real fabric
+// work.
+func bench64Topology(tb testing.TB) *Topology {
+	const nodes = 64
+	edges := make([][2]int, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % nodes})
+	}
+	topo, err := NewTopology("ring64", nodes, edges, 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return topo
+}
+
+// BenchmarkNetworkStepSharded measures the two-phase kernel on a
+// 64-router backbone, sequential versus one shard per core — the
+// scale-pass speedup the sharding exists for.
+func BenchmarkNetworkStepSharded(b *testing.B) {
+	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			model := core.PaperModel()
+			model.Static = core.DefaultStaticPower()
+			cfg := testConfig(bench64Topology(b))
+			cfg.Model = model
+			cfg.Policy = "idlegate"
+			cfg.Load = 0.3
+			cfg.Shards = shards
+			net, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer net.Close()
+			slot := uint64(0)
+			for ; slot < 100; slot++ {
+				net.Step(slot)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step(slot)
+				slot++
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/dpm"
@@ -48,8 +49,22 @@ type Config struct {
 	// Flows overrides Matrix+Load with an explicit demand list
 	// (rates in cells/slot); tests use it to pin exact flows.
 	Flows []Flow
-	// Seed drives the Bernoulli injection streams deterministically.
+	// Traffic selects the per-flow injection process (default: a
+	// Bernoulli stream per flow at its matrix rate). See FlowSource.
+	Traffic Traffic
+	// Seed drives every flow's injection and payload streams
+	// deterministically: each flow derives its own substreams from
+	// (Seed, flow index), so results are bit-identical for any shard
+	// count.
 	Seed int64
+	// Shards partitions the routers across worker goroutines stepping
+	// the network with a deterministic two-phase (compute/exchange)
+	// barrier: phase 1 injects, drains incoming links and steps each
+	// shard's routers; phase 2 exchanges staged cells onto the link
+	// queues. Results are bit-identical for any shard count. 0 or 1
+	// runs single-threaded; negative uses GOMAXPROCS. Sharded networks
+	// hold worker goroutines — call Close when done with one.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,11 +83,20 @@ func (c Config) withDefaults() Config {
 	if c.Matrix == nil {
 		c.Matrix = UniformMatrix{}
 	}
+	if c.Shards < 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
 // linkQueue is a fixed-capacity ring buffer of cells in flight on one
-// link — fixed so the forwarding path never allocates.
+// link — fixed so the forwarding path never allocates. Each queue has
+// exactly one writer per phase: the destination's shard pops in the
+// compute phase, the source's shard pushes in the exchange phase, and
+// the barrier between the phases orders them.
 type linkQueue struct {
 	buf        []*packet.Cell
 	head, size int
@@ -94,22 +118,11 @@ func (q *linkQueue) pop() *packet.Cell {
 	return c
 }
 
-// Network is the slot-synchronous multi-router kernel: per slot it
-// injects each flow's cells at its source edge port, moves cells across
-// the inter-router links into next-hop ingress queues (capacity-limited,
-// with backpressure), and steps every router — fabric transport, DPM
-// hooks and energy accounting included — in lockstep.
-type Network struct {
-	cfg     Config
-	topo    *Topology
-	routers []*router.Router
-	mgrs    []*dpm.Manager // nil entries when unmanaged
-	links   []linkQueue
-	flows   []Flow
-	rng     *rand.Rand
-	nextID  uint64
-	words   int
-	slot    uint64 // next slot to simulate; Run continues from here
+// shard is one worker's partition of the network: a contiguous node
+// range plus the measurement counters it accumulates privately (merged
+// at report time, so no counter is ever shared between goroutines).
+type shard struct {
+	nodes []int
 
 	// Measured-window counters (end-to-end, across hops).
 	offered      uint64
@@ -118,11 +131,55 @@ type Network struct {
 	latencySlots uint64
 	maxLatency   uint64
 	hopSlots     uint64
-	bufferBase   []uint64
+
+	_ [8]uint64 // keep neighboring shards off one cache line
+}
+
+// Network is the slot-synchronous multi-router kernel: per slot it
+// injects each flow's cells at its source edge port, moves cells across
+// the inter-router links into next-hop ingress queues (capacity-limited,
+// with backpressure), and steps every router — fabric transport, DPM
+// hooks and energy accounting included — in lockstep.
+//
+// With Config.Shards > 1 the routers are partitioned across worker
+// goroutines and every slot runs as two barrier-separated phases:
+//
+//	compute:  each shard injects its flows, drains its routers'
+//	          incoming links and steps its routers, staging transit
+//	          cells in per-node outboxes;
+//	exchange: each shard moves its outboxes onto the link queues.
+//
+// Every piece of mutable state has exactly one owning shard per phase,
+// and all measurement counters are shard-private until merged, so the
+// results are bit-identical for any shard count.
+type Network struct {
+	cfg     Config
+	topo    *Topology
+	routers []*router.Router
+	mgrs    []*dpm.Manager // nil entries when unmanaged
+	links   []linkQueue
+	flows   []Flow
+	words   int
+	slot    uint64 // next slot to simulate; Run continues from here
+
+	// Per-flow streams: the arrival process, the payload PRNG and the
+	// cell-ID counter, each a pure function of (Seed, flow index).
+	srcs   []FlowSource
+	rngs   []*rand.Rand
+	nextID []uint64
+
+	nodeFlows   [][]int32        // flows sourced at each node, ascending
+	nodeInLinks [][]int32        // incoming link indices per node, ascending
+	outbox      [][]*packet.Cell // staged transit cells per node
+
+	shards     []shard
+	pool       *shardPool // nil until a sharded Step starts it
+	bufferBase []uint64
 }
 
 // New builds the network: one router (and one manager, if a policy is
-// named) per topology node, routed flows, and empty link queues.
+// named) per topology node, routed flows, per-flow traffic sources and
+// empty link queues.
 func New(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
 	t := cfg.Topology
@@ -165,26 +222,44 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 
-	n := &Network{
-		cfg:        cfg,
-		topo:       t,
-		routers:    make([]*router.Router, t.Nodes),
-		mgrs:       make([]*dpm.Manager, t.Nodes),
-		links:      make([]linkQueue, len(t.Links)),
-		flows:      flows,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		words:      packet.Config{CellBits: cfg.CellBits, BusWidth: 32}.Words(),
-		bufferBase: make([]uint64, t.Nodes),
+	srcs, err := cfg.Traffic.newSources(flows, cfg.CellBits, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
-	for i := range n.links {
-		if c := t.Links[i].Capacity; c < 1 {
+
+	n := &Network{
+		cfg:         cfg,
+		topo:        t,
+		routers:     make([]*router.Router, t.Nodes),
+		mgrs:        make([]*dpm.Manager, t.Nodes),
+		links:       make([]linkQueue, len(t.Links)),
+		flows:       flows,
+		srcs:        srcs,
+		rngs:        make([]*rand.Rand, len(flows)),
+		nextID:      make([]uint64, len(flows)),
+		nodeFlows:   make([][]int32, t.Nodes),
+		nodeInLinks: make([][]int32, t.Nodes),
+		outbox:      make([][]*packet.Cell, t.Nodes),
+		words:       packet.Config{CellBits: cfg.CellBits, BusWidth: 32}.Words(),
+		bufferBase:  make([]uint64, t.Nodes),
+	}
+	for fi := range flows {
+		n.rngs[fi] = rand.New(rand.NewSource(flowSeed(cfg.Seed, fi, saltPayload)))
+		n.nodeFlows[flows[fi].Src] = append(n.nodeFlows[flows[fi].Src], int32(fi))
+	}
+	for li := range n.links {
+		if c := t.Links[li].Capacity; c < 1 {
 			return nil, fmt.Errorf("netsim: link %d→%d capacity must be >= 1, got %d",
-				t.Links[i].From, t.Links[i].To, c)
+				t.Links[li].From, t.Links[li].To, c)
 		}
-		n.links[i].buf = make([]*packet.Cell, cfg.LinkQueueCells)
+		n.links[li].buf = make([]*packet.Cell, cfg.LinkQueueCells)
+		n.nodeInLinks[t.Links[li].To] = append(n.nodeInLinks[t.Links[li].To], int32(li))
 	}
 	cell := packet.Config{CellBits: cfg.CellBits, BusWidth: 32}
 	for u := 0; u < t.Nodes; u++ {
+		// A router delivers at most one cell per port per slot, so the
+		// staging outbox never outgrows the port count.
+		n.outbox[u] = make([]*packet.Cell, 0, t.Ports)
 		rcfg := router.Config{
 			Arch:          cfg.Arch,
 			Fabric:        fabric.Config{Ports: t.Ports, Cell: cell, Model: cfg.Model},
@@ -211,6 +286,19 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("netsim: node %d: %w", u, err)
 		}
 		n.routers[u] = r
+	}
+
+	// Contiguous node blocks per shard; every shard gets at least one
+	// node. The partition only affects which goroutine does the work,
+	// never the result.
+	shards := cfg.Shards
+	if shards > t.Nodes {
+		shards = t.Nodes
+	}
+	n.shards = make([]shard, shards)
+	for u := 0; u < t.Nodes; u++ {
+		w := u * shards / t.Nodes
+		n.shards[w].nodes = append(n.shards[w].nodes, u)
 	}
 	return n, nil
 }
@@ -246,45 +334,83 @@ func (n *Network) Flows() []Flow { return n.flows }
 // Router exposes one node's router (tests observe per-node state).
 func (n *Network) Router(u int) *router.Router { return n.routers[u] }
 
-// Step advances the whole network one slot: source injection, link
-// forwarding, then every router in lockstep.
+// Shards reports the effective shard count.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Step advances the whole network one slot: the compute phase (source
+// injection, link draining, router stepping) followed by the exchange
+// phase (staged transit cells onto the links), across all shards.
 func (n *Network) Step(slot uint64) {
-	n.injectSources(slot)
-	n.deliverLinks(slot)
-	n.stepRouters(slot)
+	if len(n.shards) == 1 {
+		n.computePhase(&n.shards[0], slot)
+		n.exchangePhase(&n.shards[0], slot)
+		return
+	}
+	if n.pool == nil {
+		n.pool = newShardPool(n)
+	}
+	n.pool.step(slot)
 }
 
-// injectSources draws each flow's Bernoulli coin and injects fresh
-// cells at the flow's source edge port.
-func (n *Network) injectSources(slot uint64) {
-	for fi := range n.flows {
-		f := &n.flows[fi]
-		if n.rng.Float64() >= f.Rate {
-			continue
-		}
-		n.nextID++
-		n.offered++
-		c := &packet.Cell{
-			ID:          n.nextID,
-			Src:         f.src,
-			Dest:        f.ports[0],
-			Payload:     packet.RandomPayload(n.rng, n.words),
-			CreatedSlot: slot,
-			FlowID:      int32(fi),
-		}
-		// A full source queue drops the cell; the router counts it.
-		n.routers[f.Src].Inject(c, slot)
+// Close releases the shard worker goroutines. Only networks that ran a
+// sharded Step hold any; Close on the rest is a no-op. The network
+// must not be stepped after Close.
+func (n *Network) Close() {
+	if n.pool != nil {
+		n.pool.stop()
+		n.pool = nil
 	}
 }
 
-// deliverLinks moves cells from link queues into next-hop ingress, up
-// to each link's per-slot capacity. A full ingress queue backpressures
-// the link: its head cell (and everything behind it) waits.
-func (n *Network) deliverLinks(slot uint64) {
-	for li := range n.links {
+// computePhase runs phase 1 for one shard: for each owned node, in
+// ascending order — source injection, incoming-link draining, then the
+// router's slot. Everything it touches (per-flow streams, the owned
+// routers, the head side of incoming link queues, the shard counters)
+// is owned by this shard during the phase.
+func (n *Network) computePhase(s *shard, slot uint64) {
+	for _, u := range s.nodes {
+		r := n.routers[u]
+		n.injectNode(s, u, slot)
+		n.drainInLinks(u, slot)
+		n.stepNode(s, u, r, slot)
+	}
+}
+
+// injectNode draws each locally sourced flow's arrival process and
+// injects fresh cells at the flow's source edge port.
+func (n *Network) injectNode(s *shard, u int, slot uint64) {
+	for _, fi := range n.nodeFlows[u] {
+		f := &n.flows[fi]
+		if !n.srcs[fi].Inject(slot) {
+			continue
+		}
+		n.nextID[fi]++
+		s.offered++
+		c := &packet.Cell{
+			// IDs are unique network-wide and independent of sharding:
+			// the flow index tags the high bits, the flow's own cell
+			// count the low.
+			ID:          uint64(fi+1)<<32 | n.nextID[fi],
+			Src:         f.src,
+			Dest:        f.ports[0],
+			Payload:     packet.RandomPayload(n.rngs[fi], n.words),
+			CreatedSlot: slot,
+			FlowID:      fi,
+		}
+		// A full source queue drops the cell; the router counts it.
+		n.routers[u].Inject(c, slot)
+	}
+}
+
+// drainInLinks moves cells from node u's incoming links into its
+// ingress, up to each link's per-slot capacity. A full ingress queue
+// backpressures the link: its head cell (and everything behind it)
+// waits.
+func (n *Network) drainInLinks(u int, slot uint64) {
+	r := n.routers[u]
+	for _, li := range n.nodeInLinks[u] {
 		q := &n.links[li]
 		l := &n.topo.Links[li]
-		r := n.routers[l.To]
 		for moved := 0; moved < l.Capacity && !q.empty(); moved++ {
 			if n.cfg.MaxQueueCells > 0 && r.QueueLen(l.ToPort) >= n.cfg.MaxQueueCells {
 				break
@@ -299,42 +425,113 @@ func (n *Network) deliverLinks(slot uint64) {
 	}
 }
 
-// stepRouters runs every router's slot (DPM hooks included) and routes
-// the delivered cells onward: transit cells onto their next link, cells
-// at their final node into the end-to-end ledger. This per-router loop
-// is allocation-free: flow state rides in the cell, link queues are
-// fixed rings.
-func (n *Network) stepRouters(slot uint64) {
-	for u := range n.routers {
-		r := n.routers[u]
-		mgr := n.mgrs[u]
-		var delivered []*packet.Cell
-		if mgr != nil {
-			mgr.PreSlot(slot, r)
-			delivered = r.Step(slot)
-			mgr.PostSlot(slot, delivered, r.Fabric().Energy())
-		} else {
-			delivered = r.Step(slot)
-		}
-		for _, c := range delivered {
-			f := &n.flows[c.FlowID]
-			if int(c.Hop) == len(f.path)-1 {
-				n.delivered++
-				lat := slot - c.CreatedSlot
-				n.latencySlots += lat
-				if lat > n.maxLatency {
-					n.maxLatency = lat
-				}
-				n.hopSlots += uint64(len(f.links))
-				continue
+// stepNode runs one router's slot (DPM hooks included) and sorts the
+// delivered cells: cells at their final node into the end-to-end
+// ledger, transit cells into the node's outbox for the exchange phase.
+// This per-router loop is allocation-free: flow state rides in the
+// cell, link queues are fixed rings, the outbox is a reused
+// fixed-capacity slice.
+func (n *Network) stepNode(s *shard, u int, r *router.Router, slot uint64) {
+	mgr := n.mgrs[u]
+	var delivered []*packet.Cell
+	if mgr != nil {
+		mgr.PreSlot(slot, r)
+		delivered = r.Step(slot)
+		mgr.PostSlot(slot, delivered, r.Fabric().Energy())
+	} else {
+		delivered = r.Step(slot)
+	}
+	out := n.outbox[u][:0]
+	for _, c := range delivered {
+		f := &n.flows[c.FlowID]
+		if int(c.Hop) == len(f.path)-1 {
+			s.delivered++
+			lat := slot - c.CreatedSlot
+			s.latencySlots += lat
+			if lat > s.maxLatency {
+				s.maxLatency = lat
 			}
+			s.hopSlots += uint64(len(f.links))
+			continue
+		}
+		out = append(out, c)
+	}
+	n.outbox[u] = out
+}
+
+// exchangePhase runs phase 2 for one shard: each owned node's staged
+// transit cells move onto their next link, in delivery order. Only the
+// source node's shard pushes onto a link (a link has one From node), so
+// every queue keeps a single writer.
+func (n *Network) exchangePhase(s *shard, slot uint64) {
+	for _, u := range s.nodes {
+		for _, c := range n.outbox[u] {
+			f := &n.flows[c.FlowID]
 			q := &n.links[f.links[c.Hop]]
 			if q.full() {
-				n.linkDropped++
+				s.linkDropped++
 				continue
 			}
 			q.push(c)
 		}
+		n.outbox[u] = n.outbox[u][:0]
+	}
+}
+
+// shardPool holds the persistent worker goroutines of a sharded
+// network. Each slot the coordinator releases every worker into the
+// compute phase, waits for all of them, then does the same for the
+// exchange phase — the channel handoffs double as the memory barrier
+// between a link queue's popper and its pusher.
+type shardPool struct {
+	start []chan phaseCmd
+	done  chan struct{}
+}
+
+type phaseCmd struct {
+	slot     uint64
+	exchange bool
+}
+
+func newShardPool(n *Network) *shardPool {
+	p := &shardPool{
+		start: make([]chan phaseCmd, len(n.shards)),
+		done:  make(chan struct{}, len(n.shards)),
+	}
+	for w := range n.shards {
+		p.start[w] = make(chan phaseCmd)
+		go func(w int) {
+			s := &n.shards[w]
+			for cmd := range p.start[w] {
+				if cmd.exchange {
+					n.exchangePhase(s, cmd.slot)
+				} else {
+					n.computePhase(s, cmd.slot)
+				}
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+func (p *shardPool) step(slot uint64) {
+	p.run(phaseCmd{slot: slot})
+	p.run(phaseCmd{slot: slot, exchange: true})
+}
+
+func (p *shardPool) run(cmd phaseCmd) {
+	for _, ch := range p.start {
+		ch <- cmd
+	}
+	for range p.start {
+		<-p.done
+	}
+}
+
+func (p *shardPool) stop() {
+	for _, ch := range p.start {
+		close(ch)
 	}
 }
 
@@ -350,8 +547,11 @@ func (n *Network) beginMeasurement() {
 			n.bufferBase[u] = bc.BufferEvents()
 		}
 	}
-	n.offered, n.delivered, n.linkDropped = 0, 0, 0
-	n.latencySlots, n.maxLatency, n.hopSlots = 0, 0, 0
+	for w := range n.shards {
+		s := &n.shards[w]
+		s.offered, s.delivered, s.linkDropped = 0, 0, 0
+		s.latencySlots, s.maxLatency, s.hopSlots = 0, 0, 0
+	}
 }
 
 // Run drives the network for warmup plus measure slots and reports the
@@ -407,15 +607,30 @@ type Report struct {
 }
 
 func (n *Network) report(measure uint64) *Report {
+	// Merge the shard-private ledgers; sums and maxes are
+	// order-independent, so the merged totals cannot depend on the
+	// partition.
+	var offered, delivered, linkDropped, latencySlots, maxLatency, hopSlots uint64
+	for w := range n.shards {
+		s := &n.shards[w]
+		offered += s.offered
+		delivered += s.delivered
+		linkDropped += s.linkDropped
+		latencySlots += s.latencySlots
+		hopSlots += s.hopSlots
+		if s.maxLatency > maxLatency {
+			maxLatency = s.maxLatency
+		}
+	}
 	rep := &Report{
 		Topology:         n.topo.Name,
 		Nodes:            n.topo.Nodes,
 		Slots:            measure,
 		PerNode:          make([]sim.Result, n.topo.Nodes),
-		OfferedCells:     n.offered,
-		DeliveredCells:   n.delivered,
-		LinkDroppedCells: n.linkDropped,
-		MaxLatencySlots:  n.maxLatency,
+		OfferedCells:     offered,
+		DeliveredCells:   delivered,
+		LinkDroppedCells: linkDropped,
+		MaxLatencySlots:  maxLatency,
 	}
 	for u, r := range n.routers {
 		res := sim.Snapshot(r, n.mgrs[u], n.cfg.Model.Tech, n.cfg.CellBits, measure, n.bufferBase[u])
@@ -427,12 +642,12 @@ func (n *Network) report(measure uint64) *Report {
 		rep.Energy = rep.Energy.Add(res.Energy)
 		rep.NodeDroppedCells += res.DroppedCells
 	}
-	if n.offered > 0 {
-		rep.DeliveryRatio = float64(n.delivered) / float64(n.offered)
+	if offered > 0 {
+		rep.DeliveryRatio = float64(delivered) / float64(offered)
 	}
-	if n.delivered > 0 {
-		rep.AvgLatencySlots = float64(n.latencySlots) / float64(n.delivered)
-		rep.AvgHops = float64(n.hopSlots) / float64(n.delivered)
+	if delivered > 0 {
+		rep.AvgLatencySlots = float64(latencySlots) / float64(delivered)
+		rep.AvgHops = float64(hopSlots) / float64(delivered)
 	}
 	return rep
 }

@@ -12,9 +12,18 @@
 // the package pairs a topology layer (chain, ring, star, 2-level
 // fat-tree, arbitrary adjacency), a flow layer (traffic matrices routed
 // by pluggable policies: shortest-path baseline and an energy-aware
-// consolidating policy), and a slot-synchronous kernel that steps all
-// routers in lockstep and forwards delivered cells to next-hop ingress
-// with backpressure.
+// consolidating policy; per-flow injection processes behind the
+// FlowSource seam: Bernoulli, bursty, segmented packets, trace replay,
+// custom), and a slot-synchronous kernel that steps all routers in
+// lockstep and forwards delivered cells to next-hop ingress with
+// backpressure.
+//
+// The kernel shards: Config.Shards partitions the routers across
+// worker goroutines, and every slot runs as two barrier-separated
+// phases (compute, exchange) in which each piece of mutable state has
+// exactly one owning shard — so results are bit-identical for any
+// shard count, and simulations scale past hundreds of nodes. See
+// Network for the phase contract.
 package netsim
 
 import (

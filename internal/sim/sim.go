@@ -165,8 +165,11 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 // ResetMetrics/ResetEnergy (and, with a manager, BeginMeasurement) over
 // slots slots. bufferBase is the fabric's BufferEvents reading at the
 // reset. External drivers that step routers themselves — the network
-// kernel in internal/netsim steps many in lockstep — use it to close
-// their windows with exactly Run's accounting.
+// kernel in internal/netsim steps many in lockstep, possibly sharded
+// across goroutines — use it to close their windows with exactly Run's
+// accounting; callers must quiesce their stepping (netsim's phase
+// barriers do) before snapshotting, since Snapshot reads the router's
+// ledgers unlocked.
 func Snapshot(r *router.Router, mgr *dpm.Manager, tp tech.Params, cellBits int, slots uint64, bufferBase uint64) Result {
 	m := r.Metrics()
 	e := r.Fabric().Energy()

@@ -19,9 +19,19 @@
 // between points with every completed point's result intact, and an
 // optional callback streams per-point progress.
 //
-// A Spec wraps a Grid with a study kind ("fig9", "dpm", "net", …) so
-// the CLI can render a declarative run with the legacy reports; see
-// internal/exp and the `fabricpower run` subcommand.
+// A Spec wraps a Grid with a schema version (SpecVersion — Encode
+// stamps it, DecodeSpec rejects versions it cannot read) and a study
+// kind ("fig9", "dpm", "net", …) so the CLI can render a declarative
+// run with the legacy reports; see internal/exp and the `fabricpower
+// run` subcommand. WriteResultRecords emits a grid run as JSON Lines
+// (`fabricpower run -json`) for machine consumption.
+//
+// Traffic kinds are unified across scopes: the same TrafficSpec.Kind
+// ("uniform", "bursty", "packet", "trace", or a registered extension)
+// drives a single router's ports or — in a network scenario — every
+// flow's per-hop injection process at its matrix rate, so burstiness
+// and segmentation cross hops. A network block's Shards field
+// parallelizes that network's kernel without changing any result.
 //
 // # Extension points
 //
@@ -31,7 +41,9 @@
 // implementations and then drive them from scenario files:
 //
 //   - RegisterTraffic adds a traffic kind: a TrafficSource emitting
-//     per-slot (port, destination) injections.
+//     per-slot (port, destination) injections. In network scenarios
+//     the kind is instantiated once per flow (1-port view at the
+//     flow's rate) behind netsim's FlowSource seam.
 //   - RegisterDPMPolicy adds a power-management policy: a Policy
 //     observing per-slot activity and deciding component power states.
 //   - RegisterRouting adds a network routing policy: a RoutingFunc

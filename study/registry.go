@@ -46,7 +46,7 @@ var (
 // internal/traffic.
 func builtinTraffic(kind string) bool {
 	switch kind {
-	case "uniform", "bursty", "hotspot", "trace":
+	case "uniform", "bursty", "packet", "hotspot", "trace":
 		return true
 	}
 	return false
@@ -73,7 +73,7 @@ func RegisterTraffic(kind string, factory TrafficFactory) error {
 // TrafficKinds lists the built-in kinds followed by any registered
 // extensions, sorted.
 func TrafficKinds() []string {
-	kinds := []string{"uniform", "bursty", "hotspot", "trace"}
+	kinds := []string{"uniform", "bursty", "packet", "hotspot", "trace"}
 	trafficMu.RLock()
 	var extra []string
 	for k := range trafficRegistry {
@@ -375,6 +375,8 @@ func builtinGenerator(spec TrafficSpec, ports int, cfg packet.Config, seed int64
 		return traffic.NewInjector(ports, spec.Load, cfg, nil, seed)
 	case "bursty":
 		return traffic.NewOnOffInjector(ports, spec.MeanBurstSlots, spec.Load, cfg, nil, seed)
+	case "packet":
+		return traffic.NewPacketInjector(ports, spec.Load, cfg, nil, seed)
 	case "hotspot":
 		return traffic.NewInjector(ports, spec.Load, cfg,
 			traffic.Hotspot{Port: spec.HotspotPort, Fraction: *spec.HotspotFraction}, seed)
@@ -382,4 +384,59 @@ func builtinGenerator(spec TrafficSpec, ports int, cfg packet.Config, seed int64
 		return tracePlayer(spec.Trace, cfg)
 	}
 	return registeredTraffic(spec, ports, cfg, seed)
+}
+
+// flowSourceAdapter lifts a per-port TrafficSource into the network
+// kernel's per-flow seam: the source is constructed as a 1-port view
+// of one flow, and any cell it emits in a slot injects one cell on
+// that flow. The emit callback is bound once at construction so
+// Inject stays allocation-free on the slot hot path.
+type flowSourceAdapter struct {
+	src   TrafficSource
+	mark  func(Injection)
+	fired bool
+}
+
+func newFlowSourceAdapter(src TrafficSource) *flowSourceAdapter {
+	a := &flowSourceAdapter{src: src}
+	a.mark = func(Injection) { a.fired = true }
+	return a
+}
+
+func (a *flowSourceAdapter) Inject(slot uint64) bool {
+	a.fired = false
+	a.src.Cells(slot, a.mark)
+	return a.fired
+}
+
+// networkTraffic resolves a scenario's traffic block into the network
+// kernel's per-flow process. Built-in kinds map onto netsim's native
+// sources; a registered kind is instantiated per flow through its
+// TrafficFactory with ports=1 and Load set to the flow's matrix rate,
+// then adapted onto the FlowSource seam.
+func networkTraffic(spec TrafficSpec, tr *traffic.Trace) (netsim.Traffic, error) {
+	switch spec.Kind {
+	case "", "uniform", "bursty", "packet":
+		return netsim.Traffic{Kind: spec.Kind, MeanBurstSlots: spec.MeanBurstSlots}, nil
+	case "trace":
+		return netsim.Traffic{Kind: spec.Kind, Trace: tr}, nil
+	case "hotspot":
+		// Validate rejects this earlier; keep the executor honest.
+		return netsim.Traffic{}, fmt.Errorf("study: traffic kind hotspot is single-router only; use network.matrix \"hotspot\"")
+	}
+	trafficMu.RLock()
+	factory, ok := trafficRegistry[spec.Kind]
+	trafficMu.RUnlock()
+	if !ok {
+		return netsim.Traffic{}, fmt.Errorf("study: unknown traffic kind %q (want one of %v)", spec.Kind, TrafficKinds())
+	}
+	return netsim.Traffic{New: func(f netsim.Flow, fi int, seed int64) (netsim.FlowSource, error) {
+		perFlow := spec
+		perFlow.Load = f.Rate
+		src, err := factory(perFlow, 1, seed)
+		if err != nil {
+			return nil, err
+		}
+		return newFlowSourceAdapter(src), nil
+	}}, nil
 }

@@ -1,0 +1,25 @@
+package study
+
+import "testing"
+
+type emitEverySlot struct{}
+
+func (emitEverySlot) Cells(slot uint64, emit func(Injection)) {
+	emit(Injection{Port: 0, Dest: 0})
+}
+
+// TestFlowSourceAdapterAllocFree pins the FlowSource contract on the
+// registered-kind adapter: Inject runs inside every shard's compute
+// phase, so the emit callback must be bound once at construction, not
+// re-created per call.
+func TestFlowSourceAdapterAllocFree(t *testing.T) {
+	a := newFlowSourceAdapter(emitEverySlot{})
+	slot := uint64(0)
+	allocs := testing.AllocsPerRun(500, func() {
+		a.Inject(slot)
+		slot++
+	})
+	if allocs != 0 {
+		t.Errorf("adapter Inject allocates %.1f times per slot, want 0", allocs)
+	}
+}

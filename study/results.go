@@ -1,0 +1,36 @@
+package study
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ResultRecord is the machine-readable form of one executed grid
+// point: its index in enumeration order, the resolved scenario that
+// ran (every defaulted field filled in), and the measurement.
+// `fabricpower run -json` emits one record per line, so downstream
+// tooling — plots, dashboards, regression diffing — consumes sweeps
+// without scraping the rendered tables.
+type ResultRecord struct {
+	Index    int      `json:"index"`
+	Scenario Scenario `json:"scenario"`
+	Result   Result   `json:"result"`
+}
+
+// WriteResultRecords streams the completed points of a grid run as
+// JSON Lines: one compact ResultRecord per line, in enumeration
+// order. Points a cancelled or failed sweep never ran are skipped —
+// the indices of the emitted records still identify their grid
+// coordinates.
+func WriteResultRecords(w io.Writer, points []GridPoint) error {
+	enc := json.NewEncoder(w)
+	for i, pt := range points {
+		if !pt.Done {
+			continue
+		}
+		if err := enc.Encode(ResultRecord{Index: i, Scenario: pt.Scenario, Result: pt.Result}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

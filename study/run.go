@@ -23,12 +23,12 @@ type simGenerator = sim.Generator
 
 // Power is a per-component power report in milliwatts.
 type Power struct {
-	SwitchMW float64
-	BufferMW float64
-	WireMW   float64
+	SwitchMW float64 `json:"switchMW"`
+	BufferMW float64 `json:"bufferMW"`
+	WireMW   float64 `json:"wireMW"`
 	// StaticMW is the always-on (leakage + clock) power, including
 	// state-transition overhead; zero without a static model.
-	StaticMW float64
+	StaticMW float64 `json:"staticMW"`
 }
 
 // TotalMW sums all components.
@@ -39,9 +39,9 @@ func (p Power) DynamicMW() float64 { return p.SwitchMW + p.BufferMW + p.WireMW }
 
 // Energy is a per-component energy breakdown in femtojoules.
 type Energy struct {
-	SwitchFJ float64
-	BufferFJ float64
-	WireFJ   float64
+	SwitchFJ float64 `json:"switchFJ"`
+	BufferFJ float64 `json:"bufferFJ"`
+	WireFJ   float64 `json:"wireFJ"`
 }
 
 // TotalFJ sums the components.
@@ -50,26 +50,26 @@ func (e Energy) TotalFJ() float64 { return e.SwitchFJ + e.BufferFJ + e.WireFJ }
 // DPMReport is the power manager's ledger over the measured window.
 type DPMReport struct {
 	// Policy names the deciding policy.
-	Policy string
+	Policy string `json:"policy"`
 	// Slots counts accounted slots.
-	Slots uint64
+	Slots uint64 `json:"slots"`
 	// StaticFJ is the static energy actually drawn; AlwaysOnStaticFJ
 	// what an unmanaged fabric would have drawn; TransitionFJ the
 	// state-transition cost; DynamicAdjustFJ the (non-positive) DVFS
 	// correction to dynamic energy.
-	StaticFJ         float64
-	AlwaysOnStaticFJ float64
-	TransitionFJ     float64
-	DynamicAdjustFJ  float64
+	StaticFJ         float64 `json:"staticFJ"`
+	AlwaysOnStaticFJ float64 `json:"alwaysOnStaticFJ"`
+	TransitionFJ     float64 `json:"transitionFJ"`
+	DynamicAdjustFJ  float64 `json:"dynamicAdjustFJ"`
 	// Transitions, WakeEvents and DVFSShifts count state changes;
 	// GatedPortSlots, DrowsySlots and StalledSlots count time in the
 	// managed states.
-	Transitions    uint64
-	WakeEvents     uint64
-	DVFSShifts     uint64
-	GatedPortSlots uint64
-	DrowsySlots    uint64
-	StalledSlots   uint64
+	Transitions    uint64 `json:"transitions"`
+	WakeEvents     uint64 `json:"wakeEvents"`
+	DVFSShifts     uint64 `json:"dvfsShifts"`
+	GatedPortSlots uint64 `json:"gatedPortSlots"`
+	DrowsySlots    uint64 `json:"drowsySlots"`
+	StalledSlots   uint64 `json:"stalledSlots"`
 }
 
 // SavedFJ is the net energy the policy saved against the always-on
@@ -83,20 +83,20 @@ func (r DPMReport) SavedFJ() float64 {
 // scenario.
 type NetReport struct {
 	// Topology and Nodes identify the run.
-	Topology string
-	Nodes    int
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
 	// OfferedCells counts source-injection attempts; DeliveredCells
 	// end-to-end deliveries.
-	OfferedCells   uint64
-	DeliveredCells uint64
+	OfferedCells   uint64 `json:"offeredCells"`
+	DeliveredCells uint64 `json:"deliveredCells"`
 	// NodeDroppedCells sums ingress overflows; LinkDroppedCells counts
 	// full-link drops.
-	NodeDroppedCells uint64
-	LinkDroppedCells uint64
+	NodeDroppedCells uint64 `json:"nodeDroppedCells"`
+	LinkDroppedCells uint64 `json:"linkDroppedCells"`
 	// DeliveryRatio is DeliveredCells/OfferedCells; AvgHops the mean
 	// link count of delivered cells' paths.
-	DeliveryRatio float64
-	AvgHops       float64
+	DeliveryRatio float64 `json:"deliveryRatio"`
+	AvgHops       float64 `json:"avgHops"`
 }
 
 // Result is the measurement of one executed scenario. Single-router
@@ -106,33 +106,33 @@ type NetReport struct {
 type Result struct {
 	// Arch and Ports identify the fabric configuration (for networks:
 	// each router's).
-	Arch  string
-	Ports int
+	Arch  string `json:"arch"`
+	Ports int    `json:"ports"`
 	// Slots is the measured window; SlotNS its per-slot duration.
-	Slots  uint64
-	SlotNS float64
+	Slots  uint64  `json:"slots"`
+	SlotNS float64 `json:"slotNS"`
 	// Throughput is the measured egress throughput as a fraction of
 	// aggregate port capacity (single-router scenarios; networks
 	// report Net.DeliveryRatio instead).
-	Throughput      float64
-	AvgLatencySlots float64
-	MaxLatencySlots uint64
+	Throughput      float64 `json:"throughput"`
+	AvgLatencySlots float64 `json:"avgLatencySlots"`
+	MaxLatencySlots uint64  `json:"maxLatencySlots"`
 	// Energy and Power break down the fabric draw over the window.
-	Energy Energy
-	Power  Power
+	Energy Energy `json:"energy"`
+	Power  Power  `json:"power"`
 	// EnergyPerBitFJ is the average fabric energy per delivered bit.
-	EnergyPerBitFJ float64
+	EnergyPerBitFJ float64 `json:"energyPerBitFJ"`
 	// BufferEvents counts fabric-internal bufferings (Banyan only).
-	BufferEvents uint64
+	BufferEvents uint64 `json:"bufferEvents,omitempty"`
 	// DroppedCells counts ingress-queue overflows.
-	DroppedCells uint64
+	DroppedCells uint64 `json:"droppedCells,omitempty"`
 	// QueuedCells is the ingress backlog at the end of the window.
-	QueuedCells int
+	QueuedCells int `json:"queuedCells,omitempty"`
 	// DPM is the power manager's ledger; nil when unmanaged.
-	DPM *DPMReport
+	DPM *DPMReport `json:"dpm,omitempty"`
 	// Net holds the network-level measurements; nil for single-router
 	// scenarios.
-	Net *NetReport
+	Net *NetReport `json:"net,omitempty"`
 }
 
 // RunScenario executes one scenario and returns its measurement. The
@@ -165,8 +165,8 @@ func parseQueue(name string) (router.QueueDiscipline, error) {
 	return router.FIFO, fmt.Errorf("study: unknown queue discipline %q", name)
 }
 
-// tracePlayer opens and replays a recorded trace.
-func tracePlayer(path string, cfg packet.Config) (simGenerator, error) {
+// loadTrace opens and parses a recorded trace file.
+func loadTrace(path string) (*traffic.Trace, error) {
 	if path == "" {
 		return nil, fmt.Errorf("study: traffic kind trace needs a trace path")
 	}
@@ -175,7 +175,12 @@ func tracePlayer(path string, cfg packet.Config) (simGenerator, error) {
 		return nil, fmt.Errorf("study: opening trace: %w", err)
 	}
 	defer f.Close()
-	tr, err := traffic.ReadTrace(f)
+	return traffic.ReadTrace(f)
+}
+
+// tracePlayer opens and replays a recorded trace.
+func tracePlayer(path string, cfg packet.Config) (simGenerator, error) {
+	tr, err := loadTrace(path)
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +350,16 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var tr *traffic.Trace
+	if sd.Traffic.Kind == "trace" {
+		if tr, err = loadTrace(sd.Traffic.Trace); err != nil {
+			return Result{}, err
+		}
+	}
+	flowTraffic, err := networkTraffic(sd.Traffic, tr)
+	if err != nil {
+		return Result{}, err
+	}
 	net, err := netsim.New(netsim.Config{
 		Topology:       t,
 		Arch:           arch,
@@ -357,12 +372,15 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 		Routing:        rt,
 		Matrix:         m,
 		Load:           sd.Traffic.Load,
+		Traffic:        flowTraffic,
+		Shards:         ns.Shards,
 		Seed:           networkSeed(sd.Sim.Seed, ns.Topology, ns.Nodes, sd.Traffic.Load),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("study: %s/%s/%s at %.0f%%: %w",
 			ns.Topology, ns.Routing, sd.DPM, sd.Traffic.Load*100, err)
 	}
+	defer net.Close()
 	rep, err := net.Run(*sd.Sim.WarmupSlots, sd.Sim.MeasureSlots)
 	if err != nil {
 		return Result{}, err

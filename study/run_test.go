@@ -1,9 +1,13 @@
 package study_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"fabricpower/study"
@@ -139,9 +143,74 @@ func TestRunScenarioNetwork(t *testing.T) {
 	}
 }
 
+// TestRunScenarioNetworkShardsIdentical pins the study-level face of
+// the sharded kernel: the same network scenario measures bit-identical
+// results for any shard count.
+func TestRunScenarioNetworkShardsIdentical(t *testing.T) {
+	run := func(shards int) study.Result {
+		sc := study.Scenario{
+			Model:   study.ModelSpec{Static: true},
+			Traffic: study.TrafficSpec{Kind: "bursty", Load: 0.2},
+			DPM:     "idlegate",
+			Sim:     quickSim(),
+			Network: &study.NetworkSpec{Topology: "fattree", Nodes: 4, Shards: shards},
+		}
+		r, err := study.RunScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := run(1)
+	for _, shards := range []int{2, -1} {
+		if par := run(shards); !reflect.DeepEqual(seq, par) {
+			t.Errorf("shards=%d result differs from single-threaded", shards)
+		}
+	}
+}
+
+// TestRunScenarioNetworkTrafficKinds: the traffic zoo crosses hops —
+// every network-capable kind runs through a network scenario, and
+// burstiness changes the power bill at equal average load.
+func TestRunScenarioNetworkTrafficKinds(t *testing.T) {
+	run := func(kind string) study.Result {
+		sc := study.Scenario{
+			Model:   study.ModelSpec{Static: true},
+			Traffic: study.TrafficSpec{Kind: kind, Load: 0.2},
+			DPM:     "idlegate",
+			Sim:     quickSim(),
+			Network: &study.NetworkSpec{Topology: "fattree", Nodes: 4},
+		}
+		r, err := study.RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if r.Net == nil || r.Net.DeliveredCells == 0 {
+			t.Fatalf("%s: network delivered nothing", kind)
+		}
+		return r
+	}
+	base := run("uniform")
+	for _, kind := range []string{"bursty", "packet"} {
+		if r := run(kind); r.Power.TotalMW() == base.Power.TotalMW() {
+			t.Errorf("%s network total %.6f mW identical to Bernoulli — traffic kind not reaching netsim", kind, r.Power.TotalMW())
+		}
+	}
+	// Hotspot is a destination pattern, not an arrival process: network
+	// scenarios must reject it toward network.matrix.
+	sc := study.Scenario{
+		Traffic: study.TrafficSpec{Kind: "hotspot", Load: 0.2},
+		Sim:     quickSim(),
+		Network: &study.NetworkSpec{Topology: "ring", Nodes: 4},
+	}
+	if _, err := study.RunScenario(sc); err == nil {
+		t.Error("hotspot traffic kind accepted on a network scenario")
+	}
+}
+
 // TestRunScenarioTrafficKinds: every built-in traffic kind runs.
 func TestRunScenarioTrafficKinds(t *testing.T) {
-	for _, kind := range []string{"uniform", "bursty", "hotspot"} {
+	for _, kind := range []string{"uniform", "bursty", "packet", "hotspot"} {
 		sc := study.Scenario{
 			Fabric:  study.FabricSpec{Arch: "fullyconnected", Ports: 8},
 			Traffic: study.TrafficSpec{Kind: kind, Load: 0.3},
@@ -197,6 +266,70 @@ func TestRegisterTraffic(t *testing.T) {
 	// One cell per slot, 4 ports: throughput = 1/4.
 	if r.Throughput < 0.24 || r.Throughput > 0.26 {
 		t.Fatalf("const source throughput = %g, want 0.25", r.Throughput)
+	}
+}
+
+// TestRegisterTrafficNetwork: a registered traffic kind drives a
+// network scenario — the plug-in is instantiated per flow (1-port
+// view at the flow's rate) and its emissions inject across hops.
+func TestRegisterTrafficNetwork(t *testing.T) {
+	if err := study.RegisterTraffic("test-net-const", func(spec study.TrafficSpec, ports int, seed int64) (study.TrafficSource, error) {
+		if ports != 1 {
+			return nil, fmt.Errorf("network flows should see a 1-port view, got %d", ports)
+		}
+		return constSource{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := study.Scenario{
+		Traffic: study.TrafficSpec{Kind: "test-net-const", Load: 0.2},
+		Sim:     quickSim(),
+		Network: &study.NetworkSpec{Topology: "ring", Nodes: 4, Shards: 2},
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Net == nil || r.Net.DeliveredCells == 0 {
+		t.Fatalf("registered kind delivered nothing through the network: %+v", r.Net)
+	}
+	// constSource fires every slot on every flow: a ring of 4 hosts has
+	// 12 flows, so the measured window offers 12 cells per slot.
+	if want := 12 * sc.Sim.MeasureSlots; r.Net.OfferedCells != want {
+		t.Errorf("offered %d cells, want %d (one per flow per slot)", r.Net.OfferedCells, want)
+	}
+}
+
+// TestWriteResultRecords: the machine-readable stream carries one
+// record per completed point, with its enumeration index and resolved
+// scenario.
+func TestWriteResultRecords(t *testing.T) {
+	gr, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteResultRecords(&buf, gr.Points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(gr.Points) {
+		t.Fatalf("records = %d, want %d", len(lines), len(gr.Points))
+	}
+	for i, line := range lines {
+		var rec study.ResultRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Index != i {
+			t.Errorf("record %d carries index %d", i, rec.Index)
+		}
+		if rec.Scenario.Fabric.Ports == 0 {
+			t.Errorf("record %d scenario is not resolved: %+v", i, rec.Scenario.Fabric)
+		}
+		if rec.Result.Power.TotalMW() != gr.Points[i].Result.Power.TotalMW() {
+			t.Errorf("record %d power diverges from the grid point", i)
+		}
 	}
 }
 

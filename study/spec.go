@@ -59,10 +59,17 @@ type FabricSpec struct {
 	CellBits int `json:"cellBits,omitempty"`
 }
 
-// TrafficSpec shapes the workload of a single-router scenario.
+// TrafficSpec shapes the workload. Every kind drives single-router and
+// network scenarios alike — in a network, the kind selects each flow's
+// per-hop injection process at the rate the traffic matrix assigns it —
+// except "hotspot", which is a destination pattern and therefore only
+// meaningful on a single router (networks shape demand with
+// Network.Matrix instead).
 type TrafficSpec struct {
 	// Kind names the traffic generator: "uniform" (default), "bursty",
-	// "hotspot", "trace", or a RegisterTraffic extension.
+	// "packet" (variable-size packets segmented into cell trains),
+	// "hotspot" (single-router only), "trace", or a RegisterTraffic
+	// extension.
 	Kind string `json:"kind,omitempty"`
 	// Load is the per-port injection probability per slot in [0,1].
 	Load float64 `json:"load,omitempty"`
@@ -110,6 +117,11 @@ type NetworkSpec struct {
 	// LinkQueueCells caps each inter-router link queue (default 32).
 	MaxQueueCells  int `json:"maxQueueCells,omitempty"`
 	LinkQueueCells int `json:"linkQueueCells,omitempty"`
+	// Shards partitions the routers across worker goroutines with the
+	// deterministic two-phase (compute/exchange) barrier; results are
+	// bit-identical for any value. 0 or 1 steps the network
+	// single-threaded, -1 uses one shard per core.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CharSpec parameterizes the Table 1 gate-level characterization.
@@ -237,6 +249,9 @@ func (s Scenario) Validate() error {
 		}
 		if sd.Network.Nodes < 2 {
 			return fmt.Errorf("study: network needs >= 2 nodes, got %d", sd.Network.Nodes)
+		}
+		if sd.Traffic.Kind == "hotspot" {
+			return fmt.Errorf("study: traffic kind hotspot is a single-router destination pattern; network scenarios shape demand with network.matrix: \"hotspot\"")
 		}
 	} else if sd.Fabric.Ports < 1 {
 		return fmt.Errorf("study: ports must be >= 1, got %d", sd.Fabric.Ports)
@@ -427,25 +442,40 @@ func (g Grid) Enumerate() ([]Scenario, error) {
 	return feasible, nil
 }
 
-// Spec is the on-disk form of a study: a grid plus the kind of report
-// to render. An empty kind renders the generic per-point table; the
-// legacy kinds ("point", "fig9", "fig10", "crossover", "saturate",
-// "table1", "dpm", "net") reproduce the matching subcommand's report
-// byte for byte — see `fabricpower run` and internal/exp.
+// SpecVersion is the schema version this build reads and writes.
+// Encode stamps it on every spec; DecodeSpec rejects any other
+// non-zero version, so a spec written by a future schema fails loudly
+// instead of silently half-parsing.
+const SpecVersion = 1
+
+// Spec is the on-disk form of a study: a schema version, a grid, and
+// the kind of report to render. An empty kind renders the generic
+// per-point table; the legacy kinds ("point", "fig9", "fig10",
+// "crossover", "saturate", "table1", "dpm", "net") reproduce the
+// matching subcommand's report byte for byte — see `fabricpower run`
+// and internal/exp.
 type Spec struct {
-	Kind string `json:"study,omitempty"`
+	// Version is the schema version (SpecVersion). Zero is read as
+	// version 1 — the schema predates the field — and Encode always
+	// stamps the current version.
+	Version int    `json:"version"`
+	Kind    string `json:"study,omitempty"`
 	Grid
 }
 
-// Encode writes the spec as indented JSON.
+// Encode writes the spec as indented JSON, stamped with the current
+// schema version.
 func (s Spec) Encode(w io.Writer) error {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
 }
 
-// DecodeSpec parses a spec from JSON, rejecting unknown fields, and
-// validates the base scenario.
+// DecodeSpec parses a spec from JSON, rejecting unknown fields and
+// unsupported schema versions, and validates the base scenario.
 func DecodeSpec(r io.Reader) (Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -456,6 +486,12 @@ func DecodeSpec(r io.Reader) (Spec, error) {
 	// A spec file holds exactly one document.
 	if dec.More() {
 		return Spec{}, fmt.Errorf("study: trailing data after spec document")
+	}
+	if s.Version != 0 && s.Version != SpecVersion {
+		return Spec{}, fmt.Errorf("study: spec version %d is not supported (this build reads version %d); re-export the spec or upgrade", s.Version, SpecVersion)
+	}
+	if s.Version == 0 {
+		s.Version = SpecVersion
 	}
 	if err := s.Base.Validate(); err != nil {
 		return Spec{}, err

@@ -106,6 +106,32 @@ func TestNetSpecGolden(t *testing.T) {
 	}
 }
 
+// TestSpecVersioning pins the schema-version contract: Encode stamps
+// the current version, a pre-versioning spec (no field) reads as v1,
+// and any other version fails loudly instead of half-parsing.
+func TestSpecVersioning(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (study.Spec{}).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 1`) {
+		t.Fatalf("Encode did not stamp version 1:\n%s", buf.String())
+	}
+	legacy, err := study.DecodeSpec(strings.NewReader(`{"study": "saturate", "base": {}}`))
+	if err != nil {
+		t.Fatalf("pre-versioning spec rejected: %v", err)
+	}
+	if legacy.Version != study.SpecVersion {
+		t.Fatalf("legacy spec normalized to version %d, want %d", legacy.Version, study.SpecVersion)
+	}
+	if _, err := study.DecodeSpec(strings.NewReader(`{"version": 2, "base": {}}`)); err == nil {
+		t.Fatal("future spec version accepted")
+	}
+	if _, err := study.DecodeSpec(strings.NewReader(`{"version": -3, "base": {}}`)); err == nil {
+		t.Fatal("negative spec version accepted")
+	}
+}
+
 // TestDecodeRejectsUnknownFields: typos in scenario files must fail
 // loudly, not silently select defaults.
 func TestDecodeRejectsUnknownFields(t *testing.T) {
@@ -133,6 +159,7 @@ func TestDecodeValidates(t *testing.T) {
 		`{"base": {"queue": "lifo"}}`,
 		`{"base": {"traffic": {"load": 1.5}}}`,
 		`{"base": {"fabric": {"ports": 8}, "network": {"topology": "ring", "nodes": 4}}}`,
+		`{"base": {"traffic": {"kind": "hotspot"}, "network": {"topology": "ring", "nodes": 4}}}`,
 	}
 	for _, c := range cases {
 		if _, err := study.DecodeSpec(strings.NewReader(c)); err == nil {
