@@ -16,6 +16,7 @@
 //	fabricpower net [-topos fattree,ring] [-nodes 4] [-routings shortest,consolidate]
 //	                [-policies alwayson,idlegate] [-matrix uniform] [-traffic bursty]
 //	                [-shards N] [-loads 0.1,0.3] [-workers N]
+//	                [-mtbf slots -mttr slots] [-faults events.json]
 //	fabricpower run <spec.json|-> [-workers N] [-csv file] [-json]
 //
 // Every study subcommand accepts -print-scenario: instead of running,
@@ -31,7 +32,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -120,7 +123,9 @@ commands:
   net         network-of-routers study: topology × routing × DPM policy
               × load grid, multi-hop flows over a backbone of full
               fabric+router nodes (-traffic routes any injection kind
-              across hops, -shards parallelizes each network's kernel)
+              across hops, -shards parallelizes each network's kernel,
+              -mtbf/-mttr/-faults inject deterministic link and router
+              failures with per-flow loss and availability accounting)
   run         execute a declarative scenario/study spec (JSON file or
               '-' for stdin); -json emits per-point result records as
               JSON lines; see the study package and README
@@ -434,6 +439,9 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 	archName := fs.String("arch", "crossbar", "per-node fabric architecture")
 	loadsFlag := fs.String("loads", "", "comma-separated per-host offered loads (default 0.1,0.2,0.3,0.4,0.5)")
 	noStatic := fs.Bool("nostatic", false, "zero static power: dynamic-only accounting (routing and gating still shape traffic)")
+	mtbf := fs.Float64("mtbf", 0, "mean slots between link failures (0 = no generated faults; needs -mttr)")
+	mttr := fs.Float64("mttr", 0, "mean slots to repair a failed link")
+	faultsPath := fs.String("faults", "", "JSON file with a full failures block (study.FailureSpec); -mtbf/-mttr override its rates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -442,6 +450,10 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	loads, err := parseLoads(*loadsFlag)
+	if err != nil {
+		return err
+	}
+	failures, err := loadFailures(*faultsPath, *mtbf, *mttr)
 	if err != nil {
 		return err
 	}
@@ -457,8 +469,37 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 		Matrix:     *matrix,
 		Traffic:    *trafficKind,
 		Shards:     *shards,
+		Failures:   failures,
 	}, sf.params())
 	return sf.emit(ctx, spec, w)
+}
+
+// loadFailures assembles the net study's failures block from the
+// -faults file and the -mtbf/-mttr shorthands. Nothing requested
+// returns nil, keeping the study on its fault-free path.
+func loadFailures(path string, mtbf, mttr float64) (*study.FailureSpec, error) {
+	var f study.FailureSpec
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("net: reading -faults: %w", err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("net: decoding -faults %s: %w", path, err)
+		}
+	}
+	if mtbf != 0 {
+		f.MTBF = mtbf
+	}
+	if mttr != 0 {
+		f.MTTR = mttr
+	}
+	if path == "" && f.MTBF == 0 && f.MTTR == 0 {
+		return nil, nil
+	}
+	return &f, nil
 }
 
 func runSimulate(ctx context.Context, args []string, w io.Writer) error {

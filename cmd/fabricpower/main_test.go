@@ -235,3 +235,51 @@ func TestParseNames(t *testing.T) {
 		t.Fatal("empty should give nil")
 	}
 }
+
+// TestRunNetFaultFlags drives the failure plumbing end to end from the
+// CLI: -mtbf/-mttr inject generated link flaps (the table grows the
+// lost column), a -faults file pins explicit events, and bad inputs
+// fail loudly.
+func TestRunNetFaultFlags(t *testing.T) {
+	ctx := context.Background()
+	var out strings.Builder
+	err := runNet(ctx, []string{
+		"-topos", "ring", "-nodes", "4", "-routings", "shortest",
+		"-policies", "alwayson", "-loads", "0.2", "-slots", "400",
+		"-mtbf", "150", "-mttr", "40",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lost") {
+		t.Errorf("fault run did not render the lost column:\n%s", out.String())
+	}
+
+	faults := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(faults, []byte(
+		`{"events": [{"slot": 100, "node": 1, "down": true}, {"slot": 200, "node": 1, "down": false}], "residualMW": 2}`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = runNet(ctx, []string{
+		"-topos", "ring", "-nodes", "4", "-routings", "shortest",
+		"-policies", "alwayson", "-loads", "0.2", "-slots", "400",
+		"-faults", faults,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "lost") {
+		t.Errorf("-faults run did not render the lost column:\n%s", out.String())
+	}
+
+	if err := runNet(ctx, []string{"-faults", filepath.Join(t.TempDir(), "missing.json")}, io.Discard); err == nil {
+		t.Error("missing -faults file should fail")
+	}
+	if err := runNet(ctx, []string{
+		"-topos", "ring", "-loads", "0.1", "-slots", "50", "-mtbf", "100",
+	}, io.Discard); err == nil {
+		t.Error("-mtbf without -mttr should fail validation")
+	}
+}

@@ -63,6 +63,12 @@ type NetworkStudyOptions struct {
 	// bit-identical for any value). 0 or 1 is single-threaded, -1 one
 	// shard per core.
 	Shards int
+	// Failures schedules deterministic link/router faults on every
+	// grid point (study.FailureSpec). The fault streams are seeded
+	// from the same network seed as the traffic, which excludes
+	// routing and DPM — so every (routing, policy) pair at one point
+	// sees the identical failure schedule. Nil or empty runs fault-free.
+	Failures *study.FailureSpec
 }
 
 func (o NetworkStudyOptions) withDefaults() NetworkStudyOptions {
@@ -149,10 +155,23 @@ func (s *NetworkStudy) Point(topo, routing, policy string, load float64) (NetPoi
 // the delivery/latency cost.
 func (s *NetworkStudy) Render(w io.Writer) error {
 	for _, topo := range s.Topologies {
+		// Fault-plan runs grow a lost-cells column; fault-free tables
+		// keep the exact historical layout.
+		faulty := false
+		for _, pt := range s.Points {
+			if pt.Topology == topo && pt.Result.Net != nil && pt.Result.Net.Resilience != nil {
+				faulty = true
+				break
+			}
+		}
+		headers := []string{"routing", "policy", "offered", "delivered", "net_mW",
+			"saved_mW", "avg_lat", "avg_hops", "dropped"}
+		if faulty {
+			headers = append(headers, "lost")
+		}
 		t := plot.Table{
-			Title: fmt.Sprintf("Network study — %s, %d nodes, %s fabric", topo, s.Nodes, s.Arch),
-			Headers: []string{"routing", "policy", "offered", "delivered", "net_mW",
-				"saved_mW", "avg_lat", "avg_hops", "dropped"},
+			Title:   fmt.Sprintf("Network study — %s, %d nodes, %s fabric", topo, s.Nodes, s.Arch),
+			Headers: headers,
 		}
 		rows := 0
 		for _, rt := range s.Routings {
@@ -168,11 +187,19 @@ func (s *NetworkStudy) Render(w io.Writer) error {
 					if base, ok := s.Point(topo, "shortest", "alwayson", load); ok && (rt != "shortest" || pol != "alwayson") {
 						saved = fmtMW(base.Result.Power.TotalMW() - r.Power.TotalMW())
 					}
-					t.AddRow(rt, pol, fmtPct(load), fmtPct(r.Net.DeliveryRatio),
+					row := []string{rt, pol, fmtPct(load), fmtPct(r.Net.DeliveryRatio),
 						fmtMW(r.Power.TotalMW()), saved,
 						fmt.Sprintf("%.2f", r.AvgLatencySlots),
 						fmt.Sprintf("%.2f", r.Net.AvgHops),
-						fmt.Sprintf("%d", r.Net.NodeDroppedCells+r.Net.LinkDroppedCells))
+						fmt.Sprintf("%d", r.Net.NodeDroppedCells+r.Net.LinkDroppedCells)}
+					if faulty {
+						lost := "-"
+						if r.Net.Resilience != nil {
+							lost = fmt.Sprintf("%d", r.Net.Resilience.LostCells)
+						}
+						row = append(row, lost)
+					}
+					t.AddRow(row...)
 				}
 			}
 		}
@@ -186,8 +213,16 @@ func (s *NetworkStudy) Render(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintln(w, "net_mW sums every router's switch+buffer+wire+static power; saved_mW is against shortest-path routing on always-on routers under identical traffic.")
-	return err
+	if _, err := fmt.Fprintln(w, "net_mW sums every router's switch+buffer+wire+static power; saved_mW is against shortest-path routing on always-on routers under identical traffic."); err != nil {
+		return err
+	}
+	for _, pt := range s.Points {
+		if pt.Result.Net != nil && pt.Result.Net.Resilience != nil {
+			_, err := fmt.Fprintln(w, "lost counts cells the failure schedule cost: refused by down links, flushed from failed routers, or stranded on stale routes; residual and re-convergence power are folded into net_mW.")
+			return err
+		}
+	}
+	return nil
 }
 
 // CSV writes the study as one flat table.

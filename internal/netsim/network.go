@@ -11,6 +11,7 @@ import (
 	"fabricpower/internal/packet"
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
+	"fabricpower/internal/tech"
 )
 
 // Config assembles a network simulation.
@@ -57,6 +58,11 @@ type Config struct {
 	// (Seed, flow index), so results are bit-identical for any shard
 	// count.
 	Seed int64
+	// Faults schedules deterministic link/router failures (see
+	// FaultPlan). Nil — or an empty plan — leaves the kernel on its
+	// fault-free fast path, byte-identical to a build without the
+	// field.
+	Faults *FaultPlan
 	// Shards partitions the routers across worker goroutines stepping
 	// the network with a deterministic two-phase (compute/exchange)
 	// barrier: phase 1 injects, drains incoming links and steps each
@@ -132,6 +138,14 @@ type shard struct {
 	maxLatency   uint64
 	hopSlots     uint64
 
+	// Per-flow ledgers, allocated only under an active fault plan.
+	// Shard-private like every other counter: a flow's offered/lost
+	// cells are counted by its source node's shard, delivered cells by
+	// the destination's, and the report sums across shards.
+	flowOffered   []uint64
+	flowDelivered []uint64
+	flowLost      []uint64
+
 	_ [8]uint64 // keep neighboring shards off one cache line
 }
 
@@ -175,6 +189,12 @@ type Network struct {
 	shards     []shard
 	pool       *shardPool // nil until a sharded Step starts it
 	bufferBase []uint64
+
+	// fail is non-nil only under a non-empty fault plan; every fault
+	// branch in the hot paths is guarded on it, so a plan-free network
+	// runs the exact instruction stream it always did.
+	fail   *faultState
+	closed bool
 }
 
 // New builds the network: one router (and one manager, if a policy is
@@ -300,6 +320,18 @@ func New(cfg Config) (*Network, error) {
 		w := u * shards / t.Nodes
 		n.shards[w].nodes = append(n.shards[w].nodes, u)
 	}
+	if !cfg.Faults.Empty() {
+		fs, err := newFaultState(*cfg.Faults, t, len(flows), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		n.fail = fs
+		for w := range n.shards {
+			n.shards[w].flowOffered = make([]uint64, len(flows))
+			n.shards[w].flowDelivered = make([]uint64, len(flows))
+			n.shards[w].flowLost = make([]uint64, len(flows))
+		}
+	}
 	return n, nil
 }
 
@@ -340,7 +372,16 @@ func (n *Network) Shards() int { return len(n.shards) }
 // Step advances the whole network one slot: the compute phase (source
 // injection, link draining, router stepping) followed by the exchange
 // phase (staged transit cells onto the links), across all shards.
+// Fault events are applied first, single-threaded at the slot barrier,
+// so every shard observes the same topology for the whole slot and the
+// results stay bit-identical for any shard count.
 func (n *Network) Step(slot uint64) {
+	if n.closed {
+		panic("netsim: Step on a closed Network")
+	}
+	if n.fail != nil && slot >= n.fail.nextSlot {
+		n.applyFaults(slot)
+	}
 	if len(n.shards) == 1 {
 		n.computePhase(&n.shards[0], slot)
 		n.exchangePhase(&n.shards[0], slot)
@@ -353,9 +394,12 @@ func (n *Network) Step(slot uint64) {
 }
 
 // Close releases the shard worker goroutines. Only networks that ran a
-// sharded Step hold any; Close on the rest is a no-op. The network
-// must not be stepped after Close.
+// sharded Step hold any; Close on the rest just marks the network
+// closed. Close is idempotent, and a closed network refuses to step:
+// Step panics and Run errors with a message naming the misuse instead
+// of silently respawning workers.
 func (n *Network) Close() {
+	n.closed = true
 	if n.pool != nil {
 		n.pool.stop()
 		n.pool = nil
@@ -371,7 +415,15 @@ func (n *Network) computePhase(s *shard, slot uint64) {
 	for _, u := range s.nodes {
 		r := n.routers[u]
 		n.injectNode(s, u, slot)
-		n.drainInLinks(u, slot)
+		if n.fail != nil && n.fail.nodeDown[u] {
+			// A failed router neither forwards nor burns fabric
+			// energy; it parks at the plan's residual power (charged
+			// in the resilience ledger). Its sources still tick —
+			// their cells are lost, not deferred — and its incident
+			// links are all down, so nothing waits on them.
+			continue
+		}
+		n.drainInLinks(s, u, slot)
 		n.stepNode(s, u, r, slot)
 	}
 }
@@ -381,11 +433,23 @@ func (n *Network) computePhase(s *shard, slot uint64) {
 func (n *Network) injectNode(s *shard, u int, slot uint64) {
 	for _, fi := range n.nodeFlows[u] {
 		f := &n.flows[fi]
+		// The arrival process always ticks — fault state must not
+		// perturb the injection stream, or runs with different plans
+		// would see different traffic.
 		if !n.srcs[fi].Inject(slot) {
 			continue
 		}
 		n.nextID[fi]++
 		s.offered++
+		if n.fail != nil {
+			s.flowOffered[fi]++
+			// A parked flow (endpoint down or unreachable) or a down
+			// source loses its cells at the door.
+			if f.path == nil || n.fail.nodeDown[u] {
+				s.flowLost[fi]++
+				continue
+			}
+		}
 		c := &packet.Cell{
 			// IDs are unique network-wide and independent of sharding:
 			// the flow index tags the high bits, the flow's own cell
@@ -398,7 +462,9 @@ func (n *Network) injectNode(s *shard, u int, slot uint64) {
 			FlowID:      fi,
 		}
 		// A full source queue drops the cell; the router counts it.
-		n.routers[u].Inject(c, slot)
+		if !n.routers[u].Inject(c, slot) && n.fail != nil {
+			s.flowLost[fi]++
+		}
 	}
 }
 
@@ -406,7 +472,7 @@ func (n *Network) injectNode(s *shard, u int, slot uint64) {
 // ingress, up to each link's per-slot capacity. A full ingress queue
 // backpressures the link: its head cell (and everything behind it)
 // waits.
-func (n *Network) drainInLinks(u int, slot uint64) {
+func (n *Network) drainInLinks(s *shard, u int, slot uint64) {
 	r := n.routers[u]
 	for _, li := range n.nodeInLinks[u] {
 		q := &n.links[li]
@@ -417,10 +483,22 @@ func (n *Network) drainInLinks(u int, slot uint64) {
 			}
 			c := q.pop()
 			f := &n.flows[c.FlowID]
+			if n.fail != nil {
+				// Re-convergence may have moved the flow off this
+				// link while the cell was in flight: a cell whose
+				// next hop is no longer node u is stranded here.
+				hop := int(c.Hop) + 1
+				if f.path == nil || hop >= len(f.path) || f.path[hop] != u {
+					s.flowLost[c.FlowID]++
+					continue
+				}
+			}
 			c.Hop++
 			c.Src = l.ToPort
 			c.Dest = f.ports[c.Hop]
-			r.Inject(c, slot)
+			if !r.Inject(c, slot) && n.fail != nil {
+				s.flowLost[c.FlowID]++
+			}
 		}
 	}
 }
@@ -444,8 +522,20 @@ func (n *Network) stepNode(s *shard, u int, r *router.Router, slot uint64) {
 	out := n.outbox[u][:0]
 	for _, c := range delivered {
 		f := &n.flows[c.FlowID]
+		if n.fail != nil {
+			// Validity check at the hop boundary: a re-convergence
+			// while the cell crossed this fabric may have moved its
+			// flow off node u entirely — the cell is lost here.
+			if f.path == nil || int(c.Hop) >= len(f.path) || f.path[c.Hop] != u {
+				s.flowLost[c.FlowID]++
+				continue
+			}
+		}
 		if int(c.Hop) == len(f.path)-1 {
 			s.delivered++
+			if n.fail != nil {
+				s.flowDelivered[c.FlowID]++
+			}
 			lat := slot - c.CreatedSlot
 			s.latencySlots += lat
 			if lat > s.maxLatency {
@@ -467,9 +557,18 @@ func (n *Network) exchangePhase(s *shard, slot uint64) {
 	for _, u := range s.nodes {
 		for _, c := range n.outbox[u] {
 			f := &n.flows[c.FlowID]
-			q := &n.links[f.links[c.Hop]]
+			li := f.links[c.Hop]
+			if n.fail != nil && !n.fail.linkUp[li] {
+				// Down links refuse cells outright.
+				s.flowLost[c.FlowID]++
+				continue
+			}
+			q := &n.links[li]
 			if q.full() {
 				s.linkDropped++
+				if n.fail != nil {
+					s.flowLost[c.FlowID]++
+				}
 				continue
 			}
 			q.push(c)
@@ -551,6 +650,12 @@ func (n *Network) beginMeasurement() {
 		s := &n.shards[w]
 		s.offered, s.delivered, s.linkDropped = 0, 0, 0
 		s.latencySlots, s.maxLatency, s.hopSlots = 0, 0, 0
+		for fi := range s.flowOffered {
+			s.flowOffered[fi], s.flowDelivered[fi], s.flowLost[fi] = 0, 0, 0
+		}
+	}
+	if n.fail != nil {
+		n.fail.beginFaultMeasurement(n.slot)
 	}
 }
 
@@ -562,12 +667,18 @@ func (n *Network) Run(warmup, measure uint64) (*Report, error) {
 	if measure == 0 {
 		return nil, fmt.Errorf("netsim: measure slots must be positive")
 	}
+	if n.closed {
+		return nil, fmt.Errorf("netsim: Run on a closed Network")
+	}
 	for end := n.slot + warmup; n.slot < end; n.slot++ {
 		n.Step(n.slot)
 	}
 	n.beginMeasurement()
 	for end := n.slot + measure; n.slot < end; n.slot++ {
 		n.Step(n.slot)
+	}
+	if n.fail != nil && n.fail.err != nil {
+		return nil, n.fail.err
 	}
 	return n.report(measure), nil
 }
@@ -604,6 +715,11 @@ type Report struct {
 	MaxLatencySlots uint64
 	// AvgHops is the mean link count of delivered cells' paths.
 	AvgHops float64
+	// Resilience is filled only when the run carried a non-empty fault
+	// plan: the per-flow delivery ledger, per-link availability and the
+	// energy the failures cost. Its residual and re-convergence power
+	// are already folded into Total.StaticMW.
+	Resilience *ResilienceReport
 }
 
 func (n *Network) report(measure uint64) *Report {
@@ -648,6 +764,15 @@ func (n *Network) report(measure uint64) *Report {
 	if delivered > 0 {
 		rep.AvgLatencySlots = float64(latencySlots) / float64(delivered)
 		rep.AvgHops = float64(hopSlots) / float64(delivered)
+	}
+	if n.fail != nil {
+		slotNS := n.cfg.Model.Tech.CellTimeNS(n.cfg.CellBits)
+		rep.Resilience = n.resilienceReport(n.slot, measure, slotNS)
+		// Parked routers and re-convergence work draw real power; fold
+		// them into the network's static draw so policy comparisons
+		// price resilience, not just healthy operation.
+		durationNS := float64(measure) * slotNS
+		rep.Total.StaticMW += tech.PowerMW(rep.Resilience.ResidualFJ+rep.Resilience.ReconvergeFJ, durationNS)
 	}
 	return rep
 }

@@ -235,6 +235,41 @@ func (r *Router) QueuedCells() int {
 // InFlight returns cells inside the fabric.
 func (r *Router) InFlight() int { return r.fab.InFlight() }
 
+// FlushQueues empties every ingress queue, calling fn (if non-nil) for
+// each removed cell, and returns the flushed count. The network-level
+// failure model uses it when a router goes down: queued cells are lost,
+// not delivered, so they bypass the egress metrics entirely — only the
+// caller's ledger sees them. Cells already inside the fabric are left
+// in place.
+func (r *Router) FlushQueues(fn func(*packet.Cell)) int {
+	flushed := 0
+	if r.cfg.Queue == FIFO {
+		for p := range r.fifoQ {
+			for _, c := range r.fifoQ[p] {
+				if fn != nil {
+					fn(c)
+				}
+				flushed++
+			}
+			r.fifoQ[p] = r.fifoQ[p][:0]
+			r.arrivals[p] = r.arrivals[p][:0]
+		}
+		return flushed
+	}
+	for i := range r.voq {
+		for j := range r.voq[i] {
+			for _, c := range r.voq[i][j] {
+				if fn != nil {
+					fn(c)
+				}
+				flushed++
+			}
+			r.voq[i][j] = r.voq[i][j][:0]
+		}
+	}
+	return flushed
+}
+
 // Inject presents a cell to its ingress unit at the given slot. It
 // returns false when the ingress queue is full (the cell is dropped and
 // counted).

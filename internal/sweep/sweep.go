@@ -112,6 +112,10 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 // The results and done slices are always returned (sized to items),
 // even alongside a non-nil error; completed entries are identical to
 // what an uninterrupted run would have produced at those indices.
+//
+// A panic inside fn is recovered and treated as that point's error —
+// one broken grid point aborts the sweep with an error naming the
+// point instead of crashing the whole study.
 func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int, item T) (R, error)) ([]R, []bool, error) {
 	if fn == nil {
 		return nil, nil, fmt.Errorf("sweep: fn is required")
@@ -131,12 +135,24 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 	}
 	results := make([]R, n)
 	done := make([]bool, n)
+	// call shields the sweep from a panicking point: the panic value
+	// becomes the point's error, carrying the index like any other
+	// failure, and the sweep aborts cleanly instead of unwinding
+	// through (or worse, killing) the worker pool.
+	call := func(i int, item T) (r R, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		return fn(i, item)
+	}
 	if workers == 1 {
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
 				return results, done, err
 			}
-			r, err := fn(i, item)
+			r, err := call(i, item)
 			if err != nil {
 				return results, done, fmt.Errorf("sweep: point %d: %w", i, err)
 			}
@@ -158,7 +174,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				r, err := fn(i, items[i])
+				r, err := call(i, items[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)

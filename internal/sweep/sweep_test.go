@@ -173,3 +173,45 @@ func TestGridOrderAndFilter(t *testing.T) {
 		}
 	}
 }
+
+// TestMapRecoversPanics pins the robustness contract: a panicking grid
+// point becomes an error carrying the point index — sequentially and in
+// parallel — instead of crashing the whole study.
+func TestMapRecoversPanics(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, items, func(i, item int) (int, error) {
+			if item == 3 {
+				panic("bad operating point")
+			}
+			return item, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panicking point produced no error", workers)
+		}
+		if !strings.Contains(err.Error(), "point 3") {
+			t.Errorf("workers=%d: error should name point 3: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "bad operating point") {
+			t.Errorf("workers=%d: error should carry the panic value: %v", workers, err)
+		}
+	}
+	// MapCtx keeps the points that finished before the abort.
+	results, done, err := MapCtx(context.Background(), 1, items, func(i, item int) (int, error) {
+		if item == 5 {
+			panic(item)
+		}
+		return item * 10, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "point 5") {
+		t.Fatalf("want point-5 panic error, got %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if !done[i] || results[i] != i*10 {
+			t.Errorf("point %d: done=%v result=%d, want completed %d", i, done[i], results[i], i*10)
+		}
+	}
+	if done[5] {
+		t.Error("panicking point marked done")
+	}
+}

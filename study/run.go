@@ -97,6 +97,47 @@ type NetReport struct {
 	// link count of delivered cells' paths.
 	DeliveryRatio float64 `json:"deliveryRatio"`
 	AvgHops       float64 `json:"avgHops"`
+	// Resilience is the failure ledger of a run with a non-empty
+	// failures block; nil on fault-free runs.
+	Resilience *ResilienceReport `json:"resilience,omitempty"`
+}
+
+// ResilienceReport is the study-level form of a network run's failure
+// ledger (netsim.ResilienceReport).
+type ResilienceReport struct {
+	// LostCells counts every cell the failures cost, across all flows.
+	LostCells uint64 `json:"lostCells"`
+	// Flows is the per-flow ledger, in flow order.
+	Flows []FlowResilience `json:"flows,omitempty"`
+	// Links is the per-pair availability table.
+	Links []LinkResilience `json:"links,omitempty"`
+	// NodeDownSlots sums router outage slots over the window.
+	NodeDownSlots uint64 `json:"nodeDownSlots"`
+	// ReconvergeEvents counts topology changes that re-routed;
+	// ReroutedFlows sums the flows whose path changed.
+	ReconvergeEvents uint64 `json:"reconvergeEvents"`
+	ReroutedFlows    uint64 `json:"reroutedFlows"`
+	// ReconvergeFJ and ResidualFJ are the failure-handling energies,
+	// already folded into the result's static power.
+	ReconvergeFJ float64 `json:"reconvergeFJ"`
+	ResidualFJ   float64 `json:"residualFJ"`
+}
+
+// FlowResilience is one flow's delivered/lost ledger.
+type FlowResilience struct {
+	Src       int    `json:"src"`
+	Dst       int    `json:"dst"`
+	Offered   uint64 `json:"offered"`
+	Delivered uint64 `json:"delivered"`
+	Lost      uint64 `json:"lost"`
+}
+
+// LinkResilience is one undirected link pair's availability.
+type LinkResilience struct {
+	From         int     `json:"from"`
+	To           int     `json:"to"`
+	DownSlots    uint64  `json:"downSlots"`
+	Availability float64 `json:"availability"`
 }
 
 // Result is the measurement of one executed scenario. Single-router
@@ -327,6 +368,59 @@ func networkSeed(base int64, topo string, nodes int, load float64) int64 {
 	return int64(h)
 }
 
+// faultPlan lowers a non-empty failures block into the kernel's plan.
+func faultPlan(f *FailureSpec) *netsim.FaultPlan {
+	if f.empty() {
+		return nil
+	}
+	plan := &netsim.FaultPlan{
+		MTBF:             f.MTBF,
+		MTTR:             f.MTTR,
+		NodeMTBF:         f.NodeMTBF,
+		NodeMTTR:         f.NodeMTTR,
+		ResidualMW:       f.ResidualMW,
+		ReconvergeCostFJ: f.ReconvergeCostFJ,
+	}
+	for _, e := range f.Events {
+		ev := netsim.FaultEvent{Slot: e.Slot, Node: -1, Down: e.Down}
+		if e.Node != nil {
+			ev.Node = *e.Node
+		} else if e.Link != nil {
+			ev.From, ev.To = e.Link[0], e.Link[1]
+		}
+		plan.Events = append(plan.Events, ev)
+	}
+	return plan
+}
+
+// fromResilience converts the kernel's resilience ledger.
+func fromResilience(r *netsim.ResilienceReport) *ResilienceReport {
+	if r == nil {
+		return nil
+	}
+	out := &ResilienceReport{
+		LostCells:        r.LostCells,
+		NodeDownSlots:    r.NodeDownSlots,
+		ReconvergeEvents: r.ReconvergeEvents,
+		ReroutedFlows:    r.ReroutedFlows,
+		ReconvergeFJ:     r.ReconvergeFJ,
+		ResidualFJ:       r.ResidualFJ,
+	}
+	for _, f := range r.Flows {
+		out.Flows = append(out.Flows, FlowResilience{
+			Src: f.Src, Dst: f.Dst,
+			Offered: f.Offered, Delivered: f.Delivered, Lost: f.Lost,
+		})
+	}
+	for _, l := range r.Links {
+		out.Links = append(out.Links, LinkResilience{
+			From: l.From, To: l.To,
+			DownSlots: l.DownSlots, Availability: l.Availability,
+		})
+	}
+	return out
+}
+
 // runNetwork executes a defaulted network scenario.
 func runNetwork(sd Scenario, model core.Model) (Result, error) {
 	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
@@ -375,6 +469,7 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 		Traffic:        flowTraffic,
 		Shards:         ns.Shards,
 		Seed:           networkSeed(sd.Sim.Seed, ns.Topology, ns.Nodes, sd.Traffic.Load),
+		Faults:         faultPlan(ns.Failures),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("study: %s/%s/%s at %.0f%%: %w",
@@ -412,6 +507,7 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 			LinkDroppedCells: rep.LinkDroppedCells,
 			DeliveryRatio:    rep.DeliveryRatio,
 			AvgHops:          rep.AvgHops,
+			Resilience:       fromResilience(rep.Resilience),
 		},
 	}
 	if bits := float64(rep.DeliveredCells) * float64(sd.Fabric.CellBits); bits > 0 {

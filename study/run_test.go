@@ -424,3 +424,63 @@ func TestRegisterNetworkExtensions(t *testing.T) {
 		t.Fatalf("direct triangle routing should average 1 hop, got %g", r.Net.AvgHops)
 	}
 }
+
+// TestRunScenarioNetworkFailures runs a network scenario with a
+// failures block end to end: the resilience ledger arrives in the
+// result, losses are accounted, and an empty block measures
+// bit-identically to no block at all.
+func TestRunScenarioNetworkFailures(t *testing.T) {
+	base := func() study.Scenario {
+		return study.Scenario{
+			Model:   study.ModelSpec{Static: true},
+			Traffic: study.TrafficSpec{Load: 0.2},
+			DPM:     "idlegate",
+			Sim:     quickSim(),
+			Network: &study.NetworkSpec{Topology: "ring", Nodes: 4},
+		}
+	}
+	node := 1
+	sc := base()
+	sc.Network.Failures = &study.FailureSpec{
+		Events: []study.FaultEventSpec{
+			{Slot: 100, Node: &node, Down: true},
+			{Slot: 200, Node: &node, Down: false},
+		},
+		ResidualMW:       2,
+		ReconvergeCostFJ: 100,
+	}
+	r, err := study.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Net.Resilience
+	if res == nil {
+		t.Fatal("failures block produced no resilience report")
+	}
+	if res.NodeDownSlots != 100 {
+		t.Errorf("node down slots = %d, want 100", res.NodeDownSlots)
+	}
+	if res.ResidualFJ <= 0 || res.ReconvergeEvents == 0 {
+		t.Errorf("failure energies missing: %+v", res)
+	}
+	if len(res.Flows) == 0 || len(res.Links) == 0 {
+		t.Errorf("ledger tables missing: %d flows, %d links", len(res.Flows), len(res.Links))
+	}
+
+	plain, err := study.RunScenario(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := base()
+	empty.Network.Failures = &study.FailureSpec{ResidualMW: 9}
+	withEmpty, err := study.RunScenario(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withEmpty.Net.Resilience != nil {
+		t.Error("empty failures block attached a resilience report")
+	}
+	if !reflect.DeepEqual(plain, withEmpty) {
+		t.Error("empty failures block changed the measurement")
+	}
+}

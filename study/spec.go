@@ -3,9 +3,11 @@ package study
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
 	"fabricpower/internal/core"
@@ -122,6 +124,50 @@ type NetworkSpec struct {
 	// bit-identical for any value. 0 or 1 steps the network
 	// single-threaded, -1 uses one shard per core.
 	Shards int `json:"shards,omitempty"`
+	// Failures schedules deterministic link/router faults on the
+	// network (netsim.FaultPlan). Absent — or present but empty — the
+	// run is fault-free and byte-identical to a spec without the block.
+	Failures *FailureSpec `json:"failures,omitempty"`
+}
+
+// FailureSpec is the `failures` block of a network scenario: the
+// statistical fault processes and/or the explicit event list a run
+// injects, plus the energy prices of failure handling.
+type FailureSpec struct {
+	// MTBF and MTTR are each link pair's mean slots between failures
+	// and mean slots to repair; exponential draws from per-pair streams
+	// seeded by the scenario seed. MTBF 0 disables generated link
+	// faults.
+	MTBF float64 `json:"mtbf,omitempty"`
+	MTTR float64 `json:"mttr,omitempty"`
+	// NodeMTBF and NodeMTTR are the router-level analogue.
+	NodeMTBF float64 `json:"nodeMtbf,omitempty"`
+	NodeMTTR float64 `json:"nodeMttr,omitempty"`
+	// Events pin explicit faults (merged with the generated schedule).
+	Events []FaultEventSpec `json:"events,omitempty"`
+	// ResidualMW is a failed router's parked power draw.
+	ResidualMW float64 `json:"residualMW,omitempty"`
+	// ReconvergeCostFJ is charged per rerouted flow at each routing
+	// re-convergence.
+	ReconvergeCostFJ float64 `json:"reconvergeCostFJ,omitempty"`
+}
+
+// FaultEventSpec is one explicit fault: exactly one of Link and Node
+// names the failing entity.
+type FaultEventSpec struct {
+	// Slot is when the event takes effect.
+	Slot uint64 `json:"slot"`
+	// Link names an undirected link pair by its two node ids.
+	Link *[2]int `json:"link,omitempty"`
+	// Node names a router.
+	Node *int `json:"node,omitempty"`
+	// Down is true for a failure, false for a repair.
+	Down bool `json:"down"`
+}
+
+// empty reports whether the block schedules nothing.
+func (f *FailureSpec) empty() bool {
+	return f == nil || (f.MTBF == 0 && f.NodeMTBF == 0 && len(f.Events) == 0)
 }
 
 // CharSpec parameterizes the Table 1 gate-level characterization.
@@ -142,6 +188,11 @@ func (s Scenario) clone() Scenario {
 	out := s
 	if s.Network != nil {
 		n := *s.Network
+		if n.Failures != nil {
+			f := *n.Failures
+			f.Events = append([]FaultEventSpec(nil), f.Events...)
+			n.Failures = &f
+		}
 		out.Network = &n
 	}
 	if s.Char != nil {
@@ -253,6 +304,22 @@ func (s Scenario) Validate() error {
 		if sd.Traffic.Kind == "hotspot" {
 			return fmt.Errorf("study: traffic kind hotspot is a single-router destination pattern; network scenarios shape demand with network.matrix: \"hotspot\"")
 		}
+		if f := sd.Network.Failures; f != nil {
+			if f.MTBF < 0 || f.MTTR < 0 || f.NodeMTBF < 0 || f.NodeMTTR < 0 {
+				return fmt.Errorf("study: failures: mtbf/mttr must be >= 0")
+			}
+			if f.MTBF > 0 && f.MTTR <= 0 {
+				return fmt.Errorf("study: failures: mtbf %g needs mttr > 0", f.MTBF)
+			}
+			if f.NodeMTBF > 0 && f.NodeMTTR <= 0 {
+				return fmt.Errorf("study: failures: nodeMtbf %g needs nodeMttr > 0", f.NodeMTBF)
+			}
+			for i, e := range f.Events {
+				if (e.Link == nil) == (e.Node == nil) {
+					return fmt.Errorf("study: failures: event %d must name exactly one of link or node", i)
+				}
+			}
+		}
 	} else if sd.Fabric.Ports < 1 {
 		return fmt.Errorf("study: ports must be >= 1, got %d", sd.Fabric.Ports)
 	}
@@ -324,6 +391,12 @@ var (
 		"matrix": stringAxis(func(sc *Scenario, v string) {
 			ensureNetwork(sc).Matrix = v
 		}),
+		"mtbf": floatAxis(func(sc *Scenario, v float64) {
+			ensureFailures(sc).MTBF = v
+		}),
+		"mttr": floatAxis(func(sc *Scenario, v float64) {
+			ensureFailures(sc).MTTR = v
+		}),
 	}
 )
 
@@ -332,6 +405,14 @@ func ensureNetwork(sc *Scenario) *NetworkSpec {
 		sc.Network = &NetworkSpec{}
 	}
 	return sc.Network
+}
+
+func ensureFailures(sc *Scenario) *FailureSpec {
+	n := ensureNetwork(sc)
+	if n.Failures == nil {
+		n.Failures = &FailureSpec{}
+	}
+	return n.Failures
 }
 
 func intAxis(set func(*Scenario, int)) AxisApplier {
@@ -474,6 +555,21 @@ func (s Spec) Encode(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// decorateDecodeErr rewrites a json decode failure into an error that
+// names the offending field and value: unknown fields (typos) and type
+// mismatches are by far the most common spec-file mistakes, and the
+// raw encoding/json messages bury the field name.
+func decorateDecodeErr(what string, err error) error {
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) && ute.Field != "" {
+		return fmt.Errorf("study: decoding %s: field %q cannot hold a JSON %s (wants %s)", what, ute.Field, ute.Value, ute.Type)
+	}
+	if rest, ok := strings.CutPrefix(err.Error(), "json: unknown field "); ok {
+		return fmt.Errorf("study: decoding %s: unknown field %s — check the spelling against the %s schema", what, rest, what)
+	}
+	return fmt.Errorf("study: decoding %s: %w", what, err)
+}
+
 // DecodeSpec parses a spec from JSON, rejecting unknown fields and
 // unsupported schema versions, and validates the base scenario.
 func DecodeSpec(r io.Reader) (Spec, error) {
@@ -481,7 +577,7 @@ func DecodeSpec(r io.Reader) (Spec, error) {
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
-		return Spec{}, fmt.Errorf("study: decoding spec: %w", err)
+		return Spec{}, decorateDecodeErr("spec", err)
 	}
 	// A spec file holds exactly one document.
 	if dec.More() {
@@ -506,7 +602,7 @@ func DecodeScenario(r io.Reader) (Scenario, error) {
 	dec.DisallowUnknownFields()
 	var sc Scenario
 	if err := dec.Decode(&sc); err != nil {
-		return Scenario{}, fmt.Errorf("study: decoding scenario: %w", err)
+		return Scenario{}, decorateDecodeErr("scenario", err)
 	}
 	if err := sc.Validate(); err != nil {
 		return Scenario{}, err

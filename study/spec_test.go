@@ -298,3 +298,77 @@ func TestScenarioUnsetVersusZero(t *testing.T) {
 		t.Fatalf("explicit zero lost in round trip: %s", out)
 	}
 }
+
+// TestDecodeErrorsNameField pins the decode diagnostics: an unknown
+// field names the typo, a type mismatch names the field and the value
+// it got, and an unsupported version names the number — so a broken
+// spec file tells the user what to fix.
+func TestDecodeErrorsNameField(t *testing.T) {
+	_, err := study.DecodeSpec(strings.NewReader(`{"base": {"farbic": {"arch": "banyan"}}}`))
+	if err == nil || !strings.Contains(err.Error(), `"farbic"`) {
+		t.Errorf("unknown-field error should name the field: %v", err)
+	}
+	_, err = study.DecodeSpec(strings.NewReader(`{"base": {"fabric": {"ports": "eight"}}}`))
+	if err == nil || !strings.Contains(err.Error(), "ports") || !strings.Contains(err.Error(), "string") {
+		t.Errorf("type error should name the field and the offending JSON type: %v", err)
+	}
+	_, err = study.DecodeSpec(strings.NewReader(`{"version": 99, "base": {}}`))
+	if err == nil || !strings.Contains(err.Error(), "99") {
+		t.Errorf("version error should name the value: %v", err)
+	}
+	_, err = study.DecodeScenario(strings.NewReader(`{"sim": {"seed": true}}`))
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("scenario type error should name the field: %v", err)
+	}
+}
+
+// TestFailureSpecValidation: malformed failures blocks are rejected
+// with messages naming the problem.
+func TestFailureSpecValidation(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{`{"base": {"network": {"failures": {"mtbf": 100}}}}`, "mttr"},
+		{`{"base": {"network": {"failures": {"nodeMtbf": 100}}}}`, "nodeMttr"},
+		{`{"base": {"network": {"failures": {"mtbf": -5, "mttr": 3}}}}`, ">= 0"},
+		{`{"base": {"network": {"failures": {"events": [{"slot": 5, "down": true}]}}}}`, "exactly one"},
+		{`{"base": {"network": {"failures": {"events": [{"slot": 5, "link": [0, 1], "node": 2, "down": true}]}}}}`, "exactly one"},
+	}
+	for _, tc := range cases {
+		_, err := study.DecodeSpec(strings.NewReader(tc.spec))
+		if err == nil {
+			t.Errorf("invalid failures block accepted: %s", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("error %q does not mention %q", err, tc.want)
+		}
+	}
+}
+
+// TestFailureAxes: the mtbf/mttr axes sweep the failures block, and
+// enumerated points do not share it.
+func TestFailureAxes(t *testing.T) {
+	g := study.Grid{
+		Base: study.Scenario{Network: &study.NetworkSpec{Topology: "ring", Nodes: 4}},
+		Axes: []study.Axis{
+			{Name: "mtbf", Floats: []float64{200, 400}},
+			{Name: "mttr", Floats: []float64{50}},
+		},
+	}
+	scs, err := g.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("enumerated %d scenarios, want 2", len(scs))
+	}
+	for i, want := range []float64{200, 400} {
+		f := scs[i].Network.Failures
+		if f == nil || f.MTBF != want || f.MTTR != 50 {
+			t.Errorf("point %d failures = %+v, want mtbf %g mttr 50", i, f, want)
+		}
+	}
+	scs[0].Network.Failures.MTBF = 999
+	if scs[1].Network.Failures.MTBF != 400 {
+		t.Error("enumerated points share one failures block")
+	}
+}
