@@ -29,6 +29,13 @@
 // Sweep commands fan their operating points across -workers goroutines
 // (default: all cores); results are bit-identical for any worker count.
 // An interrupt (Ctrl-C) cancels a sweep between operating points.
+//
+// Every sweep subcommand and `run` also accept the observability flags
+// [-v] [-telemetry out.jsonl [-tsample N]] [-pprof addr]: verbose
+// per-point progress on stderr, an every-N-slots kernel time series as
+// JSON lines, and a live net/http/pprof + expvar endpoint. None of
+// them touch stdout — reports stay byte-identical with or without
+// them.
 package main
 
 import (
@@ -38,6 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof: /debug/pprof handlers on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,6 +55,7 @@ import (
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
+	"fabricpower/internal/telemetry"
 	"fabricpower/study"
 )
 
@@ -135,7 +146,13 @@ instead of running; "fabricpower <cmd> -print-scenario | fabricpower
 run -" reproduces the subcommand's output byte for byte.
 
 sweep commands accept -workers N (default 0 = all cores); results are
-bit-identical for any worker count`)
+bit-identical for any worker count
+
+sweep commands and run accept observability flags: -v (per-point
+progress with worker and duration, on stderr), -telemetry out.jsonl
+with -tsample N (every-N-slots power/utilization/latency time series),
+-pprof addr (net/http/pprof + expvar server for the run's duration);
+none of them change stdout`)
 }
 
 // sweepFlags bundles the flags every sweep subcommand shares, replacing
@@ -146,6 +163,7 @@ type sweepFlags struct {
 	workers       int
 	csvPath       string
 	printScenario bool
+	obs           obsFlags
 }
 
 // register installs the shared flags on fs. csv controls whether the
@@ -158,6 +176,7 @@ func (s *sweepFlags) register(fs *flag.FlagSet, defaultSlots uint64, csv bool) {
 	if csv {
 		fs.StringVar(&s.csvPath, "csv", "", "also write CSV to this file")
 	}
+	s.obs.register(fs)
 }
 
 func (s *sweepFlags) params() exp.SimParams {
@@ -170,14 +189,97 @@ func (s *sweepFlags) emit(ctx context.Context, spec study.Spec, w io.Writer) err
 	if s.printScenario {
 		return spec.Encode(w)
 	}
-	return runAndRender(ctx, spec, s.workers, s.csvPath, w)
+	opt, cleanup, err := s.obs.options(s.workers)
+	if err != nil {
+		return err
+	}
+	rerr := runAndRender(ctx, spec, opt, s.csvPath, w)
+	if cerr := cleanup(); rerr == nil {
+		rerr = cerr
+	}
+	return rerr
+}
+
+// obsFlags bundles the observability flags every sweep subcommand and
+// `run` accept. All of them leave stdout untouched: progress goes to
+// stderr, telemetry to its own file, profiles to an HTTP server —
+// reports stay byte-identical whether or not the flags are set.
+type obsFlags struct {
+	pprofAddr string
+	telPath   string
+	tsample   uint64
+	verbose   bool
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) while the command runs")
+	fs.StringVar(&o.telPath, "telemetry", "", "write per-point kernel telemetry time series to this file as JSON lines")
+	fs.Uint64Var(&o.tsample, "tsample", 64, "telemetry sample interval in slots")
+	fs.BoolVar(&o.verbose, "v", false, "log per-point progress (worker, wall-clock duration) to stderr")
+}
+
+// options assembles the grid-run options the observability flags ask
+// for. The returned cleanup closes the telemetry file and stops the
+// pprof server; call it exactly once after the run.
+func (o *obsFlags) options(workers int) (study.RunOptions, func() error, error) {
+	opt := study.RunOptions{Workers: workers}
+	var closers []func() error
+	cleanup := func() error {
+		var first error
+		for _, c := range closers {
+			if err := c(); first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if o.verbose {
+		opt.OnPoint = func(i, total int, sc study.Scenario, _ study.Result, info study.PointInfo) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s worker %d  %8.1f ms\n",
+				i+1, total, sc.Label(), info.Worker,
+				float64(info.Duration.Nanoseconds())/1e6)
+		}
+	}
+	if o.pprofAddr != "" {
+		addr, stop, err := servePprof(o.pprofAddr)
+		if err != nil {
+			return opt, cleanup, err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof (metrics at /debug/vars)\n", addr)
+		closers = append(closers, stop)
+	}
+	if o.telPath != "" {
+		f, err := os.Create(o.telPath)
+		if err != nil {
+			cleanup()
+			return opt, cleanup, err
+		}
+		opt.Telemetry = &study.TelemetryOptions{Out: f, Every: o.tsample}
+		closers = append(closers, f.Close)
+	}
+	return opt, cleanup, nil
+}
+
+// servePprof stands up the diagnostics endpoint: net/http/pprof's
+// handlers plus the process telemetry registry as expvar, on addr for
+// the command's lifetime. It returns the bound address (addr may ask
+// for port 0) and a func that stops the server.
+func servePprof(addr string) (string, func() error, error) {
+	telemetry.PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("pprof: %w", err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
 }
 
 // runAndRender executes a spec, renders its report and writes the CSV
 // side channel when requested — the shared tail of every study
 // subcommand and of `run`.
-func runAndRender(ctx context.Context, spec study.Spec, workers int, csvPath string, w io.Writer) error {
-	rep, err := exp.RunSpec(ctx, spec, workers)
+func runAndRender(ctx context.Context, spec study.Spec, opt study.RunOptions, csvPath string, w io.Writer) error {
+	rep, err := exp.RunSpecOpts(ctx, spec, opt)
 	if err != nil {
 		return err
 	}
@@ -535,6 +637,8 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	csvPath := fs.String("csv", "", "also write CSV to this file (study kinds with a CSV form)")
 	jsonOut := fs.Bool("json", false, "emit per-point study.Result records as JSON lines instead of the rendered report")
+	var obs obsFlags
+	obs.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -566,23 +670,33 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
-		if *csvPath != "" {
-			return fmt.Errorf("run: -json and -csv are mutually exclusive")
-		}
-		if spec.Kind == "table1" {
-			return fmt.Errorf("run: study kind table1 characterizes gates; it has no per-point result records")
-		}
-		// A cancelled or failed sweep still emits every completed
-		// point's record (WriteResultRecords skips the rest) before
-		// surfacing the error.
-		gr, runErr := spec.Grid.Run(ctx, study.RunOptions{Workers: *workers})
-		if gr != nil {
-			if err := study.WriteResultRecords(w, gr.Points); err != nil {
-				return err
-			}
-		}
-		return runErr
+	opt, cleanup, err := obs.options(*workers)
+	if err != nil {
+		return err
 	}
-	return runAndRender(ctx, spec, *workers, *csvPath, w)
+	rerr := func() error {
+		if *jsonOut {
+			if *csvPath != "" {
+				return fmt.Errorf("run: -json and -csv are mutually exclusive")
+			}
+			if spec.Kind == "table1" {
+				return fmt.Errorf("run: study kind table1 characterizes gates; it has no per-point result records")
+			}
+			// A cancelled or failed sweep still emits every completed
+			// point's record (WriteResultRecords skips the rest) before
+			// surfacing the error.
+			gr, runErr := spec.Grid.Run(ctx, opt)
+			if gr != nil {
+				if err := study.WriteResultRecords(w, gr.Points); err != nil {
+					return err
+				}
+			}
+			return runErr
+		}
+		return runAndRender(ctx, spec, opt, *csvPath, w)
+	}()
+	if cerr := cleanup(); rerr == nil {
+		rerr = cerr
+	}
+	return rerr
 }

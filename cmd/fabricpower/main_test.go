@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -281,5 +282,118 @@ func TestRunNetFaultFlags(t *testing.T) {
 		"-topos", "ring", "-loads", "0.1", "-slots", "50", "-mtbf", "100",
 	}, io.Discard); err == nil {
 		t.Error("-mtbf without -mttr should fail validation")
+	}
+}
+
+// TestObservabilityFlagsLeaveStdoutIdentical pins the observability
+// contract at the CLI: -v, -telemetry and -tsample change nothing on
+// stdout — the rendered report is byte-identical with and without
+// them — while the telemetry file fills with point-tagged JSONL.
+func TestObservabilityFlagsLeaveStdoutIdentical(t *testing.T) {
+	ctx := context.Background()
+	args := []string{"-topos", "ring", "-nodes", "4", "-policies", "idlegate",
+		"-loads", "0.1,0.3", "-slots", "300"}
+	var plain strings.Builder
+	if err := runNet(ctx, args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	telPath := filepath.Join(t.TempDir(), "tel.jsonl")
+	var tapped strings.Builder
+	withObs := append(append([]string{}, args...),
+		"-v", "-telemetry", telPath, "-tsample", "50")
+	if err := runNet(ctx, withObs, &tapped); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != tapped.String() {
+		t.Errorf("observability flags changed stdout:\n--- plain ---\n%s\n--- tapped ---\n%s",
+			plain.String(), tapped.String())
+	}
+	data, err := os.ReadFile(telPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("telemetry file is empty")
+	}
+	for i, line := range lines {
+		var rec struct {
+			Point *int   `json:"point"`
+			Kind  string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("telemetry line %d: %v", i, err)
+		}
+		if rec.Point == nil || rec.Kind == "" {
+			t.Fatalf("telemetry line %d missing point/kind: %s", i, line)
+		}
+	}
+}
+
+// TestRunSpecTelemetry: the `run` subcommand accepts the observability
+// flags on either side of the spec path and writes the time series.
+func TestRunSpecTelemetry(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	doc := `{
+  "version": 1,
+  "base": {
+    "fabric": {"arch": "crossbar", "ports": 4},
+    "sim": {"warmupSlots": 50, "measureSlots": 200, "seed": 2}
+  },
+  "axes": [{"name": "load", "floats": [0.1, 0.3]}]
+}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	telPath := filepath.Join(dir, "tel.jsonl")
+	var out strings.Builder
+	if err := dispatch(ctx, "run", []string{spec, "-telemetry", telPath, "-tsample", "64"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(telPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"sim_sample"`) {
+		t.Errorf("telemetry file carries no sim samples:\n%s", data)
+	}
+	if out.Len() == 0 {
+		t.Error("run produced no report")
+	}
+}
+
+// TestServePprof: the diagnostics server exposes the pprof index and
+// the telemetry registry over expvar, and stops cleanly.
+func TestServePprof(t *testing.T) {
+	addr, stop, err := servePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"fabricpower"`) {
+		t.Error("expvar endpoint does not publish the fabricpower registry")
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("pprof index missing")
+	}
+	if err := stop(); err != nil {
+		t.Error(err)
 	}
 }

@@ -70,7 +70,7 @@ func main() {
 	}
 	fmt.Println("arch × load grid (9 points):")
 	gr, err := grid.Run(context.Background(), study.RunOptions{
-		OnPoint: func(i, total int, sc study.Scenario, r study.Result) {
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result, _ study.PointInfo) {
 			fmt.Printf("  [%d/%d] %-14s load %.0f%%  ->  %8.3f mW\n",
 				i+1, total, sc.Fabric.Arch, sc.Traffic.Load*100, r.Power.TotalMW())
 		},

@@ -9,9 +9,23 @@ package energy
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fabricpower/internal/circuits"
 	"fabricpower/internal/gates"
+	"fabricpower/internal/telemetry"
+)
+
+// Process-wide cache telemetry, visible through the default registry and
+// (once published) expvar. singleflight counts lookups that hit an entry
+// whose characterization was still in flight — i.e. requests that would
+// have duplicated work without the per-entry once.
+var (
+	charHits         = telemetry.Default().Counter("energy.char.hits")
+	charMisses       = telemetry.Default().Counter("energy.char.misses")
+	charSingleflight = telemetry.Default().Counter("energy.char.singleflight")
+	paperMuxHits     = telemetry.Default().Counter("energy.papermux.hits")
+	paperMuxMisses   = telemetry.Default().Counter("energy.papermux.misses")
 )
 
 // charKey identifies one characterization configuration: the switch
@@ -54,6 +68,7 @@ func keyOf(sw *circuits.Switch, opt CharOptions) charKey {
 
 type charEntry struct {
 	once sync.Once
+	done atomic.Bool
 	tab  Table
 	err  error
 }
@@ -85,13 +100,21 @@ func (c *CharCache) Characterize(sw *circuits.Switch, opt CharOptions) (Table, e
 	e, ok := c.entries[key]
 	if ok {
 		c.hits++
+		charHits.Inc()
+		if !e.done.Load() {
+			charSingleflight.Inc()
+		}
 	} else {
 		e = &charEntry{}
 		c.entries[key] = e
 		c.misses++
+		charMisses.Inc()
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.tab, e.err = Characterize(sw, opt) })
+	e.once.Do(func() {
+		e.tab, e.err = Characterize(sw, opt)
+		e.done.Store(true)
+	})
 	return e.tab, e.err
 }
 
@@ -136,8 +159,10 @@ func CachedPaperMux(n int) (Table, error) {
 	paperMuxCache.mu.Lock()
 	defer paperMuxCache.mu.Unlock()
 	if t, ok := paperMuxCache.m[n]; ok {
+		paperMuxHits.Inc()
 		return t, nil
 	}
+	paperMuxMisses.Inc()
 	t, err := PaperMux(n)
 	if err != nil {
 		return nil, err

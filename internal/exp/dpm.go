@@ -96,12 +96,12 @@ func RunDPMPoint(model core.Model, policy string, arch core.Architecture, ports 
 // the paper's 10–50% loads. Set model.Static for idle power to manage;
 // without it the study degenerates to the paper's dynamic-only numbers.
 func RunDPMStudy(model study.ModelSpec, policies []string, archs []core.Architecture, ports int, loads []float64, p SimParams) (*DPMStudy, error) {
-	return dpmFromSpec(context.Background(), DPMSpec(model, policies, archs, ports, loads, p), p.Workers)
+	return dpmFromSpec(context.Background(), DPMSpec(model, policies, archs, ports, loads, p), study.RunOptions{Workers: p.Workers})
 }
 
 // dpmFromSpec runs the grid and shapes the results into the study.
-func dpmFromSpec(ctx context.Context, spec study.Spec, workers int) (*DPMStudy, error) {
-	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+func dpmFromSpec(ctx context.Context, spec study.Spec, opt study.RunOptions) (*DPMStudy, error) {
+	gr, err := spec.Grid.Run(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

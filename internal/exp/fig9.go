@@ -33,12 +33,12 @@ type Fig9 struct {
 // engine, fanned across p.Workers goroutines with deterministic,
 // order-preserving results.
 func RunFig9(model study.ModelSpec, sizes []int, loads []float64, p SimParams) (*Fig9, error) {
-	return fig9FromSpec(context.Background(), Fig9Spec(model, sizes, loads, p), p.Workers)
+	return fig9FromSpec(context.Background(), Fig9Spec(model, sizes, loads, p), study.RunOptions{Workers: p.Workers})
 }
 
 // fig9FromSpec runs the grid and shapes the results into the figure.
-func fig9FromSpec(ctx context.Context, spec study.Spec, workers int) (*Fig9, error) {
-	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+func fig9FromSpec(ctx context.Context, spec study.Spec, opt study.RunOptions) (*Fig9, error) {
+	gr, err := spec.Grid.Run(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

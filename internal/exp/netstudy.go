@@ -101,15 +101,15 @@ func (o NetworkStudyOptions) withDefaults() NetworkStudyOptions {
 // power-management savings; without it the study prices dynamic energy
 // only.
 func RunNetworkStudy(model study.ModelSpec, opt NetworkStudyOptions, p SimParams) (*NetworkStudy, error) {
-	return netFromSpec(context.Background(), NetSpec(model, opt, p), p.Workers)
+	return netFromSpec(context.Background(), NetSpec(model, opt, p), study.RunOptions{Workers: p.Workers})
 }
 
 // netFromSpec runs the grid and shapes the results into the study.
-func netFromSpec(ctx context.Context, spec study.Spec, workers int) (*NetworkStudy, error) {
+func netFromSpec(ctx context.Context, spec study.Spec, opt study.RunOptions) (*NetworkStudy, error) {
 	if spec.Base.Network == nil {
 		return nil, fmt.Errorf("exp: net spec needs a network block")
 	}
-	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+	gr, err := spec.Grid.Run(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -282,25 +282,38 @@ func Table1Spec(model study.ModelSpec, opt Table1Options) study.Spec {
 // cancelled ctx aborts the underlying grid between points and
 // surfaces ctx's error.
 func RunSpec(ctx context.Context, spec study.Spec, workers int) (Report, error) {
+	return RunSpecOpts(ctx, spec, study.RunOptions{Workers: workers})
+}
+
+// RunSpecOpts is RunSpec with the full grid-run options: progress
+// callbacks, structured events and per-point telemetry all flow through
+// to the underlying Grid.Run unchanged (single-point kinds — point,
+// table1 — run one scenario and emit no grid events).
+func RunSpecOpts(ctx context.Context, spec study.Spec, opt study.RunOptions) (Report, error) {
 	switch spec.Kind {
 	case "fig9":
-		return fig9FromSpec(ctx, spec, workers)
+		return fig9FromSpec(ctx, spec, opt)
 	case "fig10":
-		return fig10FromSpec(ctx, spec, workers)
+		return fig10FromSpec(ctx, spec, opt)
 	case "crossover":
-		return crossoverFromSpec(ctx, spec, workers)
+		return crossoverFromSpec(ctx, spec, opt)
 	case "saturate":
-		return saturationFromSpec(ctx, spec, workers)
+		return saturationFromSpec(ctx, spec, opt)
 	case "dpm":
-		return dpmFromSpec(ctx, spec, workers)
+		return dpmFromSpec(ctx, spec, opt)
 	case "net":
-		return netFromSpec(ctx, spec, workers)
+		return netFromSpec(ctx, spec, opt)
 	case "point":
-		r, err := study.RunScenario(spec.Base)
+		// Run the single point as a degenerate grid so telemetry and
+		// progress options apply uniformly.
+		gr, err := study.Grid{Base: spec.Base}.Run(ctx, opt)
 		if err != nil {
 			return nil, err
 		}
-		return &PointReport{Scenario: spec.Base, Result: r}, nil
+		if len(gr.Points) != 1 || !gr.Points[0].Done {
+			return nil, fmt.Errorf("exp: point spec did not complete")
+		}
+		return &PointReport{Scenario: spec.Base, Result: gr.Points[0].Result}, nil
 	case "table1":
 		if spec.Base.Char == nil {
 			return nil, fmt.Errorf("exp: table1 spec needs a char block")
@@ -315,10 +328,10 @@ func RunSpec(ctx context.Context, spec study.Spec, workers int) (Report, error) 
 			BusWidth: c.BusWidth,
 			MuxSizes: c.MuxSizes,
 			Seed:     c.Seed,
-			Workers:  workers,
+			Workers:  opt.Workers,
 		})
 	case "":
-		gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+		gr, err := spec.Grid.Run(ctx, opt)
 		if err != nil {
 			return nil, err
 		}

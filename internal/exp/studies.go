@@ -30,12 +30,12 @@ type Crossover struct {
 // sweep, in load order, so the result is independent of the worker
 // count.
 func RunCrossover(model study.ModelSpec, ports int, loads []float64, p SimParams) (*Crossover, error) {
-	return crossoverFromSpec(context.Background(), CrossoverSpec(model, ports, loads, p), p.Workers)
+	return crossoverFromSpec(context.Background(), CrossoverSpec(model, ports, loads, p), study.RunOptions{Workers: p.Workers})
 }
 
 // crossoverFromSpec runs the grid and reduces per-load winners.
-func crossoverFromSpec(ctx context.Context, spec study.Spec, workers int) (*Crossover, error) {
-	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+func crossoverFromSpec(ctx context.Context, spec study.Spec, opt study.RunOptions) (*Crossover, error) {
+	gr, err := spec.Grid.Run(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -99,12 +99,12 @@ type Saturation struct {
 // fabric is irrelevant — the ceiling is a property of input buffering):
 // the SaturationSpec scenario grid, one point per load.
 func RunSaturation(model study.ModelSpec, ports int, p SimParams) (*Saturation, error) {
-	return saturationFromSpec(context.Background(), SaturationSpec(model, ports, p), p.Workers)
+	return saturationFromSpec(context.Background(), SaturationSpec(model, ports, p), study.RunOptions{Workers: p.Workers})
 }
 
 // saturationFromSpec runs the grid and extracts the egress curve.
-func saturationFromSpec(ctx context.Context, spec study.Spec, workers int) (*Saturation, error) {
-	gr, err := spec.Grid.Run(ctx, study.RunOptions{Workers: workers})
+func saturationFromSpec(ctx context.Context, spec study.Spec, opt study.RunOptions) (*Saturation, error) {
+	gr, err := spec.Grid.Run(ctx, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
 	"fabricpower/internal/tech"
+	"fabricpower/internal/telemetry"
 )
 
 // Config assembles a network simulation.
@@ -63,6 +64,12 @@ type Config struct {
 	// fault-free fast path, byte-identical to a build without the
 	// field.
 	Faults *FaultPlan
+	// Telemetry attaches an every-K-slots sampling collector (power,
+	// per-link utilization, queue occupancy, DPM residency, fault
+	// state, latency histograms — see TelemetryConfig). Nil leaves the
+	// kernel on its telemetry-free fast path: no telemetry branch is
+	// taken and results are byte-identical to a run without the field.
+	Telemetry *TelemetryConfig
 	// Shards partitions the routers across worker goroutines stepping
 	// the network with a deterministic two-phase (compute/exchange)
 	// barrier: phase 1 injects, drains incoming links and steps each
@@ -146,6 +153,12 @@ type shard struct {
 	flowDelivered []uint64
 	flowLost      []uint64
 
+	// telLat is this shard's private latency-histogram buffer for the
+	// current telemetry interval, allocated only with a collector
+	// attached (its non-nilness doubles as the hot-path guard) and
+	// merged+reset at sample time.
+	telLat []uint64
+
 	_ [8]uint64 // keep neighboring shards off one cache line
 }
 
@@ -192,8 +205,10 @@ type Network struct {
 
 	// fail is non-nil only under a non-empty fault plan; every fault
 	// branch in the hot paths is guarded on it, so a plan-free network
-	// runs the exact instruction stream it always did.
+	// runs the exact instruction stream it always did. tel follows the
+	// same contract for the telemetry collector.
 	fail   *faultState
+	tel    *telCollector
 	closed bool
 }
 
@@ -332,6 +347,13 @@ func New(cfg Config) (*Network, error) {
 			n.shards[w].flowLost = make([]uint64, len(flows))
 		}
 	}
+	if cfg.Telemetry != nil {
+		n.tel = newTelCollector(n)
+		for w := range n.shards {
+			n.shards[w].telLat = make([]uint64, n.tel.cfg.LatencyBuckets)
+		}
+	}
+	telNetworksBuilt.Inc()
 	return n, nil
 }
 
@@ -378,6 +400,11 @@ func (n *Network) Shards() int { return len(n.shards) }
 func (n *Network) Step(slot uint64) {
 	if n.closed {
 		panic("netsim: Step on a closed Network")
+	}
+	if n.tel != nil && slot >= n.tel.nextSlot {
+		// Close the interval before this slot's fault events apply, so
+		// a sample's instantaneous state matches the slots it covers.
+		n.take(slot)
 	}
 	if n.fail != nil && slot >= n.fail.nextSlot {
 		n.applyFaults(slot)
@@ -482,6 +509,10 @@ func (n *Network) drainInLinks(s *shard, u int, slot uint64) {
 				break
 			}
 			c := q.pop()
+			if n.tel != nil {
+				// Single writer: only node u's shard drains link li.
+				n.tel.linkMoved[li]++
+			}
 			f := &n.flows[c.FlowID]
 			if n.fail != nil {
 				// Re-convergence may have moved the flow off this
@@ -542,6 +573,14 @@ func (n *Network) stepNode(s *shard, u int, r *router.Router, slot uint64) {
 				s.maxLatency = lat
 			}
 			s.hopSlots += uint64(len(f.links))
+			if s.telLat != nil {
+				// This shard owns the flow's destination node, so the
+				// per-flow ledgers have a single writer too.
+				b := telemetry.Bucket(lat, len(s.telLat))
+				s.telLat[b]++
+				n.tel.flowDelivered[c.FlowID]++
+				n.tel.flowHist[c.FlowID][b]++
+			}
 			continue
 		}
 		out = append(out, c)
@@ -597,6 +636,7 @@ func newShardPool(n *Network) *shardPool {
 		start: make([]chan phaseCmd, len(n.shards)),
 		done:  make(chan struct{}, len(n.shards)),
 	}
+	telShardWorkers.Add(int64(len(n.shards)))
 	for w := range n.shards {
 		p.start[w] = make(chan phaseCmd)
 		go func(w int) {
@@ -632,10 +672,18 @@ func (p *shardPool) stop() {
 	for _, ch := range p.start {
 		close(ch)
 	}
+	telShardWorkers.Add(-int64(len(p.start)))
 }
 
 // beginMeasurement closes the warmup window on every router and ledger.
 func (n *Network) beginMeasurement() {
+	if n.tel != nil {
+		// Flush the partial warmup interval before the ledgers reset,
+		// then rebase the delta baselines to the reset state so the
+		// first measured sample isn't differenced against warmup.
+		n.take(n.slot)
+		n.tel.rebase()
+	}
 	for u, r := range n.routers {
 		r.ResetMetrics()
 		r.Fabric().ResetEnergy()
@@ -679,6 +727,12 @@ func (n *Network) Run(warmup, measure uint64) (*Report, error) {
 	}
 	if n.fail != nil && n.fail.err != nil {
 		return nil, n.fail.err
+	}
+	if n.tel != nil {
+		n.take(n.slot) // flush the final partial interval
+		if n.tel.cfg.OnSummary != nil {
+			n.tel.cfg.OnSummary(n.summarize(n.slot))
+		}
 	}
 	return n.report(measure), nil
 }

@@ -1,0 +1,340 @@
+package netsim
+
+import (
+	"fabricpower/internal/tech"
+	"fabricpower/internal/telemetry"
+)
+
+// TelemetryConfig attaches a sampling collector to a network run: every
+// Every slots the kernel emits one TelemetrySample covering the interval
+// since the previous sample — dynamic/static power, end-to-end cell
+// counters, per-link utilization and queue occupancy, per-node ingress
+// backlog, DPM state residency, fault up/down state, and a cell-latency
+// histogram — and at the end of Run one TelemetrySummary with per-flow
+// delivery counts and latency histograms.
+//
+// The collector follows the fault plan's contract with the hot loop:
+// a nil TelemetryConfig leaves the kernel on its telemetry-free fast
+// path (every telemetry branch is guarded and not taken), so runs
+// without one are byte-identical to builds without the feature. With a
+// collector attached, per-shard private buffers (latency buckets) and
+// single-writer counters (per-link moves, per-flow ledgers) are merged
+// at the slot barrier, single-threaded, so emitted series are
+// bit-identical for any shard count. Sampling reuses one sample struct
+// and never allocates; only the caller's OnSample/OnSummary sinks do.
+type TelemetryConfig struct {
+	// Every is the sample interval in slots (default 64). Larger
+	// intervals amortize the sampling walk over more slots; the
+	// per-slot cost of an attached collector is a few counter
+	// increments.
+	Every uint64
+	// LatencyBuckets sizes the latency histograms (default 16):
+	// bucket 0 counts zero-slot latencies, bucket i counts
+	// [2^(i-1), 2^i) slots, the last bucket absorbs the tail.
+	LatencyBuckets int
+	// OnSample receives each interval sample. The pointed-to sample
+	// (and its slices) is reused across intervals: sinks must consume
+	// or copy it before returning.
+	OnSample func(*TelemetrySample)
+	// OnSummary receives the per-flow summary at the end of each Run.
+	// The summary is freshly allocated and may be retained.
+	OnSummary func(*TelemetrySummary)
+}
+
+func (tc TelemetryConfig) withDefaults() TelemetryConfig {
+	if tc.Every == 0 {
+		tc.Every = 64
+	}
+	if tc.LatencyBuckets < 2 {
+		tc.LatencyBuckets = 16
+	}
+	return tc
+}
+
+// LinkSample is one link's activity over a sample interval plus its
+// instantaneous state at the sample slot.
+type LinkSample struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Moved counts cells drained off this link during the interval;
+	// Utilization is Moved over the link's capacity × interval.
+	Moved       uint64  `json:"moved"`
+	Utilization float64 `json:"util"`
+	// Queue is the link queue's occupancy at the sample slot.
+	Queue int `json:"queue"`
+	// Up is false while the link is failed (or an endpoint is down).
+	Up bool `json:"up"`
+}
+
+// DPMSample is the network-wide DPM activity over one interval, summed
+// across every managed router.
+type DPMSample struct {
+	GatedPortSlots uint64 `json:"gatedPortSlots"`
+	DrowsySlots    uint64 `json:"drowsySlots"`
+	StalledSlots   uint64 `json:"stalledSlots"`
+	Transitions    uint64 `json:"transitions"`
+	WakeEvents     uint64 `json:"wakeEvents"`
+	DVFSShifts     uint64 `json:"dvfsShifts"`
+}
+
+// TelemetrySample is one interval of the network time series. Slot is
+// the exclusive end of the covered window [Slot-Interval, Slot);
+// counters are deltas over the window, queue depths and up/down state
+// are instantaneous at Slot.
+type TelemetrySample struct {
+	Kind     string `json:"kind"` // "net_sample"
+	Slot     uint64 `json:"slot"`
+	Interval uint64 `json:"interval"`
+	// DynamicMW is the fabric (switch+buffer+wire, DVFS-adjusted)
+	// power over the window; StaticMW is the managed static +
+	// transition power (zero without a DPM policy; fault residual
+	// power is accounted in the end-of-run Report, not here).
+	DynamicMW float64 `json:"dynamicMW"`
+	StaticMW  float64 `json:"staticMW"`
+	// End-to-end cell counters over the window.
+	OfferedCells     uint64 `json:"offered"`
+	DeliveredCells   uint64 `json:"delivered"`
+	NodeDroppedCells uint64 `json:"nodeDropped"`
+	LinkDroppedCells uint64 `json:"linkDropped"`
+	// QueuedCells is the network-wide ingress backlog at Slot;
+	// NodeQueues breaks it down per node.
+	QueuedCells int          `json:"queuedCells"`
+	NodeQueues  []int        `json:"nodeQueues"`
+	Links       []LinkSample `json:"links"`
+	// Latency buckets delivered cells' end-to-end latency over the
+	// window (telemetry.Histogram bucketing).
+	Latency []uint64 `json:"latency"`
+	// DPM is present only when the network runs a power-management
+	// policy.
+	DPM *DPMSample `json:"dpm,omitempty"`
+	// DownNodes/DownLinks count failed entities at Slot (directed
+	// links, matching the Links list).
+	DownNodes int `json:"downNodes"`
+	DownLinks int `json:"downLinks"`
+}
+
+// FlowTelemetry is one flow's whole-run delivery account.
+type FlowTelemetry struct {
+	Flow           int      `json:"flow"`
+	Src            int      `json:"src"`
+	Dst            int      `json:"dst"`
+	DeliveredCells uint64   `json:"delivered"`
+	Latency        []uint64 `json:"latency"`
+}
+
+// TelemetrySummary is the per-flow wrap-up emitted at the end of Run.
+type TelemetrySummary struct {
+	Kind  string          `json:"kind"` // "net_flows"
+	Slot  uint64          `json:"slot"`
+	Flows []FlowTelemetry `json:"flows"`
+}
+
+// telCollector is the per-network sampling state. Hot-path counters are
+// single-writer under the sharding ownership rules: linkMoved[li] is
+// incremented only by the draining (destination) shard, the per-flow
+// ledgers only by the flow's destination shard, and per-shard latency
+// buckets live on the shard itself (shard.telLat). Everything merges in
+// take(), which runs single-threaded at the slot barrier.
+type telCollector struct {
+	cfg    TelemetryConfig
+	slotNS float64
+
+	startSlot uint64 // inclusive start of the current interval
+	nextSlot  uint64 // first slot that triggers the next sample
+
+	sample TelemetrySample
+	dpm    DPMSample // backing store for sample.DPM
+
+	// Cumulative baselines for delta computation, rebased to zero when
+	// beginMeasurement resets the underlying ledgers.
+	lastDynFJ       float64
+	lastStaticFJ    float64
+	lastOffered     uint64
+	lastDelivered   uint64
+	lastNodeDropped uint64
+	lastLinkDropped uint64
+	lastDPM         DPMSample
+
+	linkMoved []uint64 // per-link cells drained this interval
+
+	// Whole-run per-flow ledgers (destination-shard single-writer).
+	flowDelivered []uint64
+	flowHist      [][]uint64
+}
+
+func newTelCollector(n *Network) *telCollector {
+	cfg := n.cfg.Telemetry.withDefaults()
+	t := &telCollector{
+		cfg:           cfg,
+		slotNS:        n.cfg.Model.Tech.CellTimeNS(n.cfg.CellBits),
+		nextSlot:      cfg.Every,
+		linkMoved:     make([]uint64, len(n.links)),
+		flowDelivered: make([]uint64, len(n.flows)),
+		flowHist:      make([][]uint64, len(n.flows)),
+	}
+	for fi := range t.flowHist {
+		t.flowHist[fi] = make([]uint64, cfg.LatencyBuckets)
+	}
+	t.sample = TelemetrySample{
+		Kind:       "net_sample",
+		NodeQueues: make([]int, n.topo.Nodes),
+		Links:      make([]LinkSample, len(n.links)),
+		Latency:    make([]uint64, cfg.LatencyBuckets),
+	}
+	for li := range n.links {
+		t.sample.Links[li].From = n.topo.Links[li].From
+		t.sample.Links[li].To = n.topo.Links[li].To
+	}
+	return t
+}
+
+// take closes the interval [t.startSlot, slot), fills the reused sample
+// and hands it to the sink. Runs single-threaded between slots (from
+// Step before the phases, from beginMeasurement, and at the end of
+// Run), so every ledger it reads is quiescent. Allocation-free.
+func (n *Network) take(slot uint64) {
+	t := n.tel
+	interval := slot - t.startSlot
+	t.startSlot = slot
+	t.nextSlot = slot + t.cfg.Every
+	if interval == 0 {
+		return
+	}
+	smp := &t.sample
+	smp.Slot = slot
+	smp.Interval = interval
+
+	// Power: cumulative fabric + manager ledgers, differenced against
+	// the previous sample (mirroring sim.Snapshot's accounting).
+	var dynFJ, staticFJ float64
+	var nodeDropped uint64
+	var dpmNow DPMSample
+	managed := false
+	queued := 0
+	for u, r := range n.routers {
+		dynFJ += r.Fabric().Energy().TotalFJ()
+		if mgr := n.mgrs[u]; mgr != nil {
+			managed = true
+			rep := mgr.Report()
+			dynFJ += rep.DynamicAdjust.TotalFJ()
+			staticFJ += rep.StaticFJ + rep.TransitionFJ
+			dpmNow.GatedPortSlots += rep.GatedPortSlots
+			dpmNow.DrowsySlots += rep.DrowsySlots
+			dpmNow.StalledSlots += rep.StalledSlots
+			dpmNow.Transitions += rep.Transitions
+			dpmNow.WakeEvents += rep.WakeEvents
+			dpmNow.DVFSShifts += rep.DVFSShifts
+		}
+		nodeDropped += r.Metrics().DroppedCells
+		q := r.QueuedCells()
+		smp.NodeQueues[u] = q
+		queued += q
+	}
+	durationNS := float64(interval) * t.slotNS
+	smp.DynamicMW = tech.PowerMW(dynFJ-t.lastDynFJ, durationNS)
+	smp.StaticMW = tech.PowerMW(staticFJ-t.lastStaticFJ, durationNS)
+	t.lastDynFJ, t.lastStaticFJ = dynFJ, staticFJ
+	smp.QueuedCells = queued
+	smp.NodeDroppedCells = nodeDropped - t.lastNodeDropped
+	t.lastNodeDropped = nodeDropped
+	if managed {
+		t.dpm = DPMSample{
+			GatedPortSlots: dpmNow.GatedPortSlots - t.lastDPM.GatedPortSlots,
+			DrowsySlots:    dpmNow.DrowsySlots - t.lastDPM.DrowsySlots,
+			StalledSlots:   dpmNow.StalledSlots - t.lastDPM.StalledSlots,
+			Transitions:    dpmNow.Transitions - t.lastDPM.Transitions,
+			WakeEvents:     dpmNow.WakeEvents - t.lastDPM.WakeEvents,
+			DVFSShifts:     dpmNow.DVFSShifts - t.lastDPM.DVFSShifts,
+		}
+		t.lastDPM = dpmNow
+		smp.DPM = &t.dpm
+	} else {
+		smp.DPM = nil
+	}
+
+	// End-to-end counters and latency buckets: merge the shard-private
+	// ledgers. Sums are order-independent, so the merged values cannot
+	// depend on the partition.
+	var offered, delivered, linkDropped uint64
+	for i := range smp.Latency {
+		smp.Latency[i] = 0
+	}
+	for w := range n.shards {
+		s := &n.shards[w]
+		offered += s.offered
+		delivered += s.delivered
+		linkDropped += s.linkDropped
+		for i, c := range s.telLat {
+			smp.Latency[i] += c
+			s.telLat[i] = 0
+		}
+	}
+	smp.OfferedCells = offered - t.lastOffered
+	smp.DeliveredCells = delivered - t.lastDelivered
+	smp.LinkDroppedCells = linkDropped - t.lastLinkDropped
+	t.lastOffered, t.lastDelivered, t.lastLinkDropped = offered, delivered, linkDropped
+
+	smp.DownNodes, smp.DownLinks = 0, 0
+	if n.fail != nil {
+		for _, down := range n.fail.nodeDown {
+			if down {
+				smp.DownNodes++
+			}
+		}
+	}
+	cap64 := float64(interval)
+	for li := range n.links {
+		ls := &smp.Links[li]
+		ls.Moved = t.linkMoved[li]
+		t.linkMoved[li] = 0
+		ls.Utilization = float64(ls.Moved) / (cap64 * float64(n.topo.Links[li].Capacity))
+		ls.Queue = n.links[li].size
+		ls.Up = n.fail == nil || n.fail.linkUp[li]
+		if !ls.Up {
+			smp.DownLinks++
+		}
+	}
+
+	if t.cfg.OnSample != nil {
+		t.cfg.OnSample(smp)
+	}
+}
+
+// rebase zeroes the delta baselines after beginMeasurement reset the
+// cumulative ledgers underneath them.
+func (t *telCollector) rebase() {
+	t.lastDynFJ, t.lastStaticFJ = 0, 0
+	t.lastOffered, t.lastDelivered = 0, 0
+	t.lastNodeDropped, t.lastLinkDropped = 0, 0
+	t.lastDPM = DPMSample{}
+}
+
+// summarize builds the per-flow wrap-up (allocates; called once per
+// Run).
+func (n *Network) summarize(slot uint64) *TelemetrySummary {
+	t := n.tel
+	sum := &TelemetrySummary{
+		Kind:  "net_flows",
+		Slot:  slot,
+		Flows: make([]FlowTelemetry, len(n.flows)),
+	}
+	for fi := range n.flows {
+		hist := make([]uint64, len(t.flowHist[fi]))
+		copy(hist, t.flowHist[fi])
+		sum.Flows[fi] = FlowTelemetry{
+			Flow:           fi,
+			Src:            n.flows[fi].Src,
+			Dst:            n.flows[fi].Dst,
+			DeliveredCells: t.flowDelivered[fi],
+			Latency:        hist,
+		}
+	}
+	return sum
+}
+
+// Shard-pool occupancy and construction counters on the process-wide
+// registry (expvar-visible once published).
+var (
+	telShardWorkers  = telemetry.Default().Gauge("netsim.shard.workers")
+	telNetworksBuilt = telemetry.Default().Counter("netsim.networks.built")
+)

@@ -46,6 +46,11 @@ type Options struct {
 	// refuse cells — exp.RunDPMPoint wires both ends. Nil reproduces
 	// the paper's always-on, dynamic-only accounting exactly.
 	DPM *dpm.Manager
+	// Telemetry, when non-nil, samples an every-K-slots time series of
+	// power, throughput and DPM activity over the run (warmup
+	// included). Purely observational: results are identical with or
+	// without it.
+	Telemetry *TelemetryConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -122,8 +127,15 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 	opt = opt.withDefaults()
 
 	mgr := opt.DPM
+	var pr *probe
+	if opt.Telemetry != nil {
+		pr = newProbe(*opt.Telemetry, tp, cellBits)
+	}
 	slot := uint64(0)
 	for ; slot < opt.WarmupSlots; slot++ {
+		if pr != nil && slot >= pr.nextSlot {
+			pr.take(slot, r, mgr)
+		}
 		for _, c := range gen.Generate(slot) {
 			r.Inject(c, slot)
 		}
@@ -133,6 +145,12 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		} else {
 			r.Step(slot)
 		}
+	}
+	if pr != nil {
+		// Flush the partial warmup interval, then rebase the baselines
+		// over the ledger reset below.
+		pr.take(slot, r, mgr)
+		pr.rebase()
 	}
 	r.ResetMetrics()
 	r.Fabric().ResetEnergy()
@@ -146,6 +164,9 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 
 	end := opt.WarmupSlots + opt.MeasureSlots
 	for ; slot < end; slot++ {
+		if pr != nil && slot >= pr.nextSlot {
+			pr.take(slot, r, mgr)
+		}
 		for _, c := range gen.Generate(slot) {
 			r.Inject(c, slot)
 		}
@@ -155,6 +176,9 @@ func Run(r *router.Router, gen Generator, tp tech.Params, cellBits int, opt Opti
 		} else {
 			r.Step(slot)
 		}
+	}
+	if pr != nil {
+		pr.take(slot, r, mgr) // flush the final partial interval
 	}
 
 	return Snapshot(r, mgr, tp, cellBits, opt.MeasureSlots, bufferBase), nil

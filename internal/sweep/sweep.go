@@ -120,6 +120,21 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 	if fn == nil {
 		return nil, nil, fmt.Errorf("sweep: fn is required")
 	}
+	return MapCtxW(ctx, workers, items, func(_, i int, item T) (R, error) {
+		return fn(i, item)
+	})
+}
+
+// MapCtxW is MapCtx with the worker index exposed to fn: worker is 0
+// for a sequential run and otherwise identifies which of the pool's
+// goroutines evaluated the point. It exists for observability (progress
+// events attribute points to workers) — fn must not let the worker
+// index influence its result, or the any-worker-count determinism
+// guarantee is forfeit.
+func MapCtxW[T, R any](ctx context.Context, workers int, items []T, fn func(worker, i int, item T) (R, error)) ([]R, []bool, error) {
+	if fn == nil {
+		return nil, nil, fmt.Errorf("sweep: fn is required")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -139,20 +154,20 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 	// becomes the point's error, carrying the index like any other
 	// failure, and the sweep aborts cleanly instead of unwinding
 	// through (or worse, killing) the worker pool.
-	call := func(i int, item T) (r R, err error) {
+	call := func(worker, i int, item T) (r R, err error) {
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("panic: %v", p)
 			}
 		}()
-		return fn(i, item)
+		return fn(worker, i, item)
 	}
 	if workers == 1 {
 		for i, item := range items {
 			if err := ctx.Err(); err != nil {
 				return results, done, err
 			}
-			r, err := call(i, item)
+			r, err := call(0, i, item)
 			if err != nil {
 				return results, done, fmt.Errorf("sweep: point %d: %w", i, err)
 			}
@@ -167,14 +182,14 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				r, err := call(i, items[i])
+				r, err := call(w, i, items[i])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -183,7 +198,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 				results[i] = r
 				done[i] = true
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for i, err := range errs {

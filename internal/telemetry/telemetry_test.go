@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("Counter not stable across lookups")
+	}
+	g := r.Gauge("a.level")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	snap := r.Snapshot()
+	want := map[string]int64{"a.count": 5, "a.level": 4}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("Snapshot = %v, want %v", snap, want)
+	}
+	var names []string
+	r.Each(func(name string, _ int64) { names = append(names, name) })
+	if !reflect.DeepEqual(names, []string{"a.count", "a.level"}) {
+		t.Fatalf("Each order = %v", names)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("level").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := r.Gauge("level").Load(); got != 8000 {
+		t.Fatalf("level = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 14, 15}, {1<<15 - 1, 15}, {1 << 15, 15}, {1 << 60, 15},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.v, 16); got != c.want {
+			t.Errorf("Bucket(%d, 16) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketLow(0) != 0 || BucketLow(1) != 1 || BucketLow(2) != 2 || BucketLow(5) != 16 {
+		t.Fatal("BucketLow bounds wrong")
+	}
+}
+
+func TestHistogramObserveMergeReset(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []uint64{0, 1, 1, 3, 200} {
+		h.Observe(v)
+	}
+	want := []uint64{1, 2, 1, 0, 0, 0, 0, 1}
+	if !reflect.DeepEqual(h.Counts(), want) {
+		t.Fatalf("counts = %v, want %v", h.Counts(), want)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h.Total())
+	}
+
+	// Merge equals observing the union, regardless of split.
+	a, b := NewHistogram(8), NewHistogram(8)
+	for i, v := range []uint64{5, 9, 0, 77, 2, 2} {
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	all := NewHistogram(8)
+	for _, v := range []uint64{5, 9, 0, 77, 2, 2} {
+		all.Observe(v)
+	}
+	if !reflect.DeepEqual(a.Counts(), all.Counts()) {
+		t.Fatalf("merged = %v, want %v", a.Counts(), all.Counts())
+	}
+
+	c := NewHistogram(8)
+	c.MergeCounts(all.Counts())
+	if !reflect.DeepEqual(c.Counts(), all.Counts()) {
+		t.Fatalf("MergeCounts = %v, want %v", c.Counts(), all.Counts())
+	}
+
+	h.Reset()
+	if h.Total() != 0 {
+		t.Fatalf("total after reset = %d", h.Total())
+	}
+}
+
+func TestHistogramMergeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bucket-count mismatch")
+		}
+	}()
+	NewHistogram(4).Merge(NewHistogram(8))
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(0)
+	h.Observe(9)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[1,0,0,1]" {
+		t.Fatalf("marshal = %s", data)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Counts(), h.Counts()) {
+		t.Fatalf("round trip = %v, want %v", back.Counts(), h.Counts())
+	}
+}
+
+func TestWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Emit(map[string]int{"slot": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(map[string]int{"slot": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"slot\":1}\n{\"slot\":2}\n" {
+		t.Fatalf("output = %q", got)
+	}
+	if w.Lines() != 2 {
+		t.Fatalf("lines = %d", w.Lines())
+	}
+	if w.Err() != nil {
+		t.Fatalf("err = %v", w.Err())
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestWriterStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	w := NewWriter(failWriter{err: boom})
+	if err := w.Emit(1); !errors.Is(err, boom) {
+		t.Fatalf("first emit err = %v", err)
+	}
+	if err := w.Emit(2); !errors.Is(err, boom) {
+		t.Fatalf("second emit err = %v", err)
+	}
+	if w.Lines() != 0 {
+		t.Fatalf("lines = %d, want 0", w.Lines())
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	// Must not panic on repeated calls (expvar.Publish panics on dup).
+	PublishExpvar()
+	PublishExpvar()
+	Default().Counter("telemetry.test.published").Inc()
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

@@ -1,6 +1,17 @@
 package thompson
 
-import "sync"
+import (
+	"sync"
+
+	"fabricpower/internal/telemetry"
+)
+
+// Process-wide memo telemetry, visible through the default registry and
+// (once published) expvar.
+var (
+	stageGridHits   = telemetry.Default().Counter("thompson.stagegrid.hits")
+	stageGridMisses = telemetry.Default().Counter("thompson.stagegrid.misses")
+)
 
 // Stage-grid tables: the fabric models charge wire energy per stage on
 // every slot, so they want the per-stage Thompson-grid lengths as a flat
@@ -22,8 +33,10 @@ func BanyanStageGridTable(dim int) []int {
 	stageGridCache.mu.Lock()
 	defer stageGridCache.mu.Unlock()
 	if t, ok := stageGridCache.banyan[dim]; ok {
+		stageGridHits.Inc()
 		return t
 	}
+	stageGridMisses.Inc()
 	w := BanyanWires{Dimension: dim}
 	t := make([]int, dim)
 	for s := range t {
@@ -43,8 +56,10 @@ func SorterStageGridTable(dim int) []int {
 	stageGridCache.mu.Lock()
 	defer stageGridCache.mu.Unlock()
 	if t, ok := stageGridCache.sorter[dim]; ok {
+		stageGridHits.Inc()
 		return t
 	}
+	stageGridMisses.Inc()
 	w := BatcherBanyanWires{Dimension: dim}
 	t := make([]int, w.SorterStages())
 	for s := range t {

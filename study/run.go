@@ -2,10 +2,13 @@ package study
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/dpm"
@@ -15,6 +18,7 @@ import (
 	"fabricpower/internal/router"
 	"fabricpower/internal/sim"
 	"fabricpower/internal/sweep"
+	"fabricpower/internal/telemetry"
 	"fabricpower/internal/traffic"
 )
 
@@ -182,6 +186,13 @@ type Result struct {
 // describe the same operating point measure identical results —
 // regardless of which subcommand, grid or test constructed them.
 func RunScenario(sc Scenario) (Result, error) {
+	return runScenario(sc, nil, nil)
+}
+
+// runScenario is RunScenario with an optional telemetry tap: topt tunes
+// the kernel collectors, emit receives each kernel sample/summary (the
+// pointed-to values are reused — emit must consume them synchronously).
+func runScenario(sc Scenario, topt *TelemetryOptions, emit func(any)) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -191,9 +202,9 @@ func RunScenario(sc Scenario) (Result, error) {
 		return Result{}, err
 	}
 	if sd.Network != nil {
-		return runNetwork(sd, model)
+		return runNetwork(sd, model, topt, emit)
 	}
-	return runSingle(sd, model)
+	return runSingle(sd, model, topt, emit)
 }
 
 func parseQueue(name string) (router.QueueDiscipline, error) {
@@ -229,7 +240,7 @@ func tracePlayer(path string, cfg packet.Config) (simGenerator, error) {
 }
 
 // runSingle executes a defaulted single-router scenario.
-func runSingle(sd Scenario, model core.Model) (Result, error) {
+func runSingle(sd Scenario, model core.Model, topt *TelemetryOptions, emit func(any)) (Result, error) {
 	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
 	if err != nil {
 		return Result{}, err
@@ -278,12 +289,19 @@ func runSingle(sd Scenario, model core.Model) (Result, error) {
 		return Result{}, err
 	}
 	warmup := *sd.Sim.WarmupSlots
-	res, err := sim.Run(r, gen, model.Tech, sd.Fabric.CellBits, sim.Options{
+	opts := sim.Options{
 		WarmupSlots:  warmup,
 		NoWarmup:     warmup == 0,
 		MeasureSlots: sd.Sim.MeasureSlots,
 		DPM:          mgr,
-	})
+	}
+	if emit != nil {
+		opts.Telemetry = &sim.TelemetryConfig{
+			Every:    topt.Every,
+			OnSample: func(s *sim.TelemetrySample) { emit(s) },
+		}
+	}
+	res, err := sim.Run(r, gen, model.Tech, sd.Fabric.CellBits, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -422,7 +440,7 @@ func fromResilience(r *netsim.ResilienceReport) *ResilienceReport {
 }
 
 // runNetwork executes a defaulted network scenario.
-func runNetwork(sd Scenario, model core.Model) (Result, error) {
+func runNetwork(sd Scenario, model core.Model, topt *TelemetryOptions, emit func(any)) (Result, error) {
 	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
 	if err != nil {
 		return Result{}, err
@@ -454,7 +472,7 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	net, err := netsim.New(netsim.Config{
+	ncfg := netsim.Config{
 		Topology:       t,
 		Arch:           arch,
 		Model:          model,
@@ -470,7 +488,16 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 		Shards:         ns.Shards,
 		Seed:           networkSeed(sd.Sim.Seed, ns.Topology, ns.Nodes, sd.Traffic.Load),
 		Faults:         faultPlan(ns.Failures),
-	})
+	}
+	if emit != nil {
+		ncfg.Telemetry = &netsim.TelemetryConfig{
+			Every:          topt.Every,
+			LatencyBuckets: topt.LatencyBuckets,
+			OnSample:       func(s *netsim.TelemetrySample) { emit(s) },
+			OnSummary:      func(s *netsim.TelemetrySummary) { emit(s) },
+		}
+	}
+	net, err := netsim.New(ncfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("study: %s/%s/%s at %.0f%%: %w",
 			ns.Topology, ns.Routing, sd.DPM, sd.Traffic.Load*100, err)
@@ -516,16 +543,93 @@ func runNetwork(sd Scenario, model core.Model) (Result, error) {
 	return out, nil
 }
 
+// PointInfo carries the execution metadata of one completed grid
+// point. It is observability only — by the sweep engine's contract the
+// worker that ran a point never influences its result.
+type PointInfo struct {
+	// Worker identifies the sweep goroutine that ran the point (0 on a
+	// sequential run).
+	Worker int
+	// Duration is the point's wall-clock run time.
+	Duration time.Duration
+}
+
+// Event is one structured progress record of a grid run — the wire
+// format a study server streams to its clients. Counters snapshot the
+// process-wide characterization cache at emission time (cumulative, so
+// a point's cache behavior is the finish-minus-start delta).
+type Event struct {
+	// Kind is "point_start" or "point_finish".
+	Kind string `json:"kind"`
+	// Index/Total locate the point in enumeration order.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Worker is the sweep goroutine that ran the point.
+	Worker int `json:"worker"`
+	// Label summarizes the point's coordinates.
+	Label string `json:"label,omitempty"`
+	// DurationMS is the point's wall-clock run time (finish only).
+	DurationMS float64 `json:"durationMS,omitempty"`
+	// Err carries a failed point's error (finish only).
+	Err string `json:"err,omitempty"`
+	// CharHits/CharMisses snapshot the process-wide characterization
+	// cache counters.
+	CharHits   uint64 `json:"charHits"`
+	CharMisses uint64 `json:"charMisses"`
+}
+
+// TelemetryOptions streams per-point kernel telemetry from a grid run.
+type TelemetryOptions struct {
+	// Out receives one JSON record per line: every kernel sample and
+	// summary, tagged with its point index ("point"). A point's records
+	// are flushed as one contiguous block when the point completes;
+	// block order follows completion order, so the whole file is
+	// deterministic only on sequential runs (Workers: 1).
+	Out io.Writer
+	// Every is the sample interval in slots (default 64).
+	Every uint64
+	// LatencyBuckets sizes the latency histograms (default 16).
+	LatencyBuckets int
+}
+
 // RunOptions tunes a grid run.
 type RunOptions struct {
 	// Workers bounds the sweep parallelism (0 = one per core, 1 =
 	// sequential). Results are bit-identical for any worker count.
 	Workers int
 	// OnPoint, when non-nil, streams progress: it is called once per
-	// completed point with the point's index in enumeration order and
-	// the total point count. Calls are serialized but arrive in
-	// completion order, not index order.
-	OnPoint func(index, total int, sc Scenario, r Result)
+	// completed point with the point's index in enumeration order, the
+	// total point count and the point's execution metadata. Calls are
+	// serialized but arrive in completion order, not index order.
+	OnPoint func(index, total int, sc Scenario, r Result, info PointInfo)
+	// OnEvent, when non-nil, receives structured progress events
+	// (point start/finish with worker, duration and cache counters).
+	// Calls are serialized, in emission order.
+	OnEvent func(Event)
+	// Telemetry, when non-nil with Out set, samples every-K-slots
+	// kernel time series per point into Out as JSONL.
+	Telemetry *TelemetryOptions
+}
+
+// Process-wide characterization-cache counters (shared instances with
+// internal/energy via the registry's get-or-create semantics).
+var (
+	evCharHits   = telemetry.Default().Counter("energy.char.hits")
+	evCharMisses = telemetry.Default().Counter("energy.char.misses")
+)
+
+// Label summarizes the scenario's coordinates in one line — the form
+// progress events and verbose sweep output identify points by.
+func (sc Scenario) Label() string {
+	dpm := sc.DPM
+	if dpm == "" {
+		dpm = "alwayson"
+	}
+	if sc.Network != nil {
+		return fmt.Sprintf("%s/%d %s %s %s@%g", sc.Network.Topology, sc.Network.Nodes,
+			sc.Fabric.Arch, sc.Network.Routing, dpm, sc.Traffic.Load)
+	}
+	return fmt.Sprintf("%s/%d %s@%g", sc.Fabric.Arch, sc.Fabric.Ports, dpm, sc.Traffic.Load)
 }
 
 // GridPoint is one enumerated scenario — in Resolved form, every
@@ -574,13 +678,77 @@ func (g Grid) Run(ctx context.Context, opt RunOptions) (*GridResult, error) {
 	}
 	var mu sync.Mutex
 	n := len(scenarios)
-	results, done, err := sweep.MapCtx(ctx, opt.Workers, scenarios, func(i int, sc Scenario) (Result, error) {
-		r, rerr := RunScenario(sc)
-		if rerr == nil && opt.OnPoint != nil {
+	var telw *telemetry.Writer
+	var topt *TelemetryOptions
+	if opt.Telemetry != nil && opt.Telemetry.Out != nil {
+		topt = opt.Telemetry
+		telw = telemetry.NewWriter(topt.Out)
+	}
+	results, done, err := sweep.MapCtxW(ctx, opt.Workers, scenarios, func(worker, i int, sc Scenario) (Result, error) {
+		if opt.OnEvent != nil {
 			mu.Lock()
-			opt.OnPoint(i, n, sc, r)
+			opt.OnEvent(Event{
+				Kind: "point_start", Index: i, Total: n, Worker: worker,
+				Label:    sc.Label(),
+				CharHits: evCharHits.Load(), CharMisses: evCharMisses.Load(),
+			})
 			mu.Unlock()
 		}
+		// Kernel samples are buffered per point (the kernels reuse their
+		// sample structs, so each is marshaled as it arrives) and
+		// flushed as one contiguous block when the point completes.
+		var recs []json.RawMessage
+		var emit func(any)
+		if telw != nil {
+			emit = func(v any) {
+				var rec any
+				switch s := v.(type) {
+				case *netsim.TelemetrySample:
+					rec = struct {
+						Point int `json:"point"`
+						*netsim.TelemetrySample
+					}{i, s}
+				case *netsim.TelemetrySummary:
+					rec = struct {
+						Point int `json:"point"`
+						*netsim.TelemetrySummary
+					}{i, s}
+				case *sim.TelemetrySample:
+					rec = struct {
+						Point int `json:"point"`
+						*sim.TelemetrySample
+					}{i, s}
+				default:
+					rec = v
+				}
+				if b, merr := json.Marshal(rec); merr == nil {
+					recs = append(recs, b)
+				}
+			}
+		}
+		start := time.Now()
+		r, rerr := runScenario(sc, topt, emit)
+		dur := time.Since(start)
+		mu.Lock()
+		for _, b := range recs {
+			telw.Emit(b)
+		}
+		if rerr == nil && opt.OnPoint != nil {
+			opt.OnPoint(i, n, sc, r, PointInfo{Worker: worker, Duration: dur})
+		}
+		if opt.OnEvent != nil {
+			ev := Event{
+				Kind: "point_finish", Index: i, Total: n, Worker: worker,
+				Label:      sc.Label(),
+				DurationMS: float64(dur.Nanoseconds()) / 1e6,
+				CharHits:   evCharHits.Load(), CharMisses: evCharMisses.Load(),
+			}
+			if rerr != nil {
+				ev.Err = rerr.Error()
+			}
+			opt.OnEvent(ev)
+		}
+		mu.Unlock()
 		return r, rerr
 	})
 	out := &GridResult{Points: make([]GridPoint, n)}

@@ -62,7 +62,7 @@ func TestGridRunCancellation(t *testing.T) {
 	defer cancel()
 	partial, err := quickGrid().Run(ctx, study.RunOptions{
 		Workers: 1,
-		OnPoint: func(i, total int, sc study.Scenario, r study.Result) {
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result, _ study.PointInfo) {
 			if i == 1 {
 				cancel()
 			}
@@ -101,7 +101,7 @@ func TestGridRunStreamsProgress(t *testing.T) {
 	seen := map[int]int{}
 	gr, err := quickGrid().Run(context.Background(), study.RunOptions{
 		Workers: 4,
-		OnPoint: func(i, total int, sc study.Scenario, r study.Result) {
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result, _ study.PointInfo) {
 			if total != 4 {
 				t.Errorf("total = %d, want 4", total)
 			}
