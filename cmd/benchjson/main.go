@@ -5,10 +5,17 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson [-out file]
+//	benchjson -compare old.json new.json [-threshold 15] [-match regex]
 //
 // Each benchmark line becomes one object; `pkg:` context lines from
 // multi-package runs attribute every benchmark to its package. Lines
 // that are not benchmark results (PASS, ok, goos, ...) are skipped.
+//
+// -compare diffs two such JSON files (typically a checked-in baseline
+// against a fresh run), prints a per-benchmark delta table, and exits
+// nonzero when any ns/op regressed by more than -threshold percent.
+// Benchmarks present in only one file are reported but never fail the
+// comparison, so adding or renaming benchmarks does not break CI.
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -36,7 +45,17 @@ type Result struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 15, "with -compare, fail when ns/op regresses by more than this percentage")
+	match := flag.String("match", "", "with -compare, only compare benchmarks whose name matches this regexp")
 	flag.Parse()
+	if *compare {
+		if err := runCompare(flag.Args(), *threshold, *match, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	results, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -57,6 +76,139 @@ func main() {
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+}
+
+// runCompare loads two result files, renders the delta table and
+// returns an error naming each regression beyond the threshold.
+func runCompare(args []string, threshold float64, match string, w io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-compare needs exactly two files: old.json new.json")
+	}
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+	load := func(path string) ([]Result, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var rs []Result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return rs, nil
+	}
+	oldR, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	newR, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	cmp := Compare(oldR, newR, threshold, re)
+	cmp.Render(w)
+	if n := len(cmp.Regressions()); n > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", n, threshold)
+	}
+	return nil
+}
+
+// Delta is one benchmark's old-vs-new comparison. A benchmark present
+// in only one file has OnlyOld/OnlyNew set and no percentage.
+type Delta struct {
+	Key       string
+	OldNsOp   float64
+	NewNsOp   float64
+	Pct       float64 // (new-old)/old × 100
+	Regressed bool
+	OnlyOld   bool
+	OnlyNew   bool
+}
+
+// Comparison is the full old-vs-new diff, sorted by key.
+type Comparison struct {
+	Deltas    []Delta
+	Threshold float64
+}
+
+// Compare matches results by package+name+procs and computes ns/op
+// deltas. Results failing the optional name filter are dropped; a
+// delta beyond threshold percent marks a regression.
+func Compare(oldR, newR []Result, threshold float64, match *regexp.Regexp) Comparison {
+	key := func(r Result) string {
+		return fmt.Sprintf("%s %s-%d", r.Package, r.Name, r.Procs)
+	}
+	keep := func(r Result) bool {
+		return match == nil || match.MatchString(r.Name)
+	}
+	olds := make(map[string]Result)
+	for _, r := range oldR {
+		if keep(r) {
+			olds[key(r)] = r
+		}
+	}
+	seen := make(map[string]bool)
+	var deltas []Delta
+	for _, r := range newR {
+		if !keep(r) {
+			continue
+		}
+		k := key(r)
+		seen[k] = true
+		o, ok := olds[k]
+		if !ok {
+			deltas = append(deltas, Delta{Key: k, NewNsOp: r.NsPerOp, OnlyNew: true})
+			continue
+		}
+		d := Delta{Key: k, OldNsOp: o.NsPerOp, NewNsOp: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			d.Regressed = d.Pct > threshold
+		}
+		deltas = append(deltas, d)
+	}
+	for k, o := range olds {
+		if !seen[k] {
+			deltas = append(deltas, Delta{Key: k, OldNsOp: o.NsPerOp, OnlyOld: true})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Key < deltas[j].Key })
+	return Comparison{Deltas: deltas, Threshold: threshold}
+}
+
+// Regressions returns the deltas beyond the threshold.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Render writes the per-benchmark delta table.
+func (c Comparison) Render(w io.Writer) {
+	for _, d := range c.Deltas {
+		switch {
+		case d.OnlyOld:
+			fmt.Fprintf(w, "%-64s %12.1f %12s   removed\n", d.Key, d.OldNsOp, "-")
+		case d.OnlyNew:
+			fmt.Fprintf(w, "%-64s %12s %12.1f   added\n", d.Key, "-", d.NewNsOp)
+		default:
+			mark := ""
+			if d.Regressed {
+				mark = fmt.Sprintf("   REGRESSED (>%.0f%%)", c.Threshold)
+			}
+			fmt.Fprintf(w, "%-64s %12.1f %12.1f %+7.1f%%%s\n",
+				d.Key, d.OldNsOp, d.NewNsOp, d.Pct, mark)
+		}
 	}
 }
 

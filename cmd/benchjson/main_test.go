@@ -1,6 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -53,5 +58,120 @@ func TestParseSkipsNoise(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}
+
+// TestCompare: ns/op deltas beyond the threshold regress, improvements
+// and small drifts pass, and one-sided benchmarks never fail.
+func TestCompare(t *testing.T) {
+	old := []Result{
+		{Package: "p", Name: "BenchmarkA", Procs: 8, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkB", Procs: 8, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkC", Procs: 8, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkGone", Procs: 8, NsPerOp: 500},
+	}
+	fresh := []Result{
+		{Package: "p", Name: "BenchmarkA", Procs: 8, NsPerOp: 1100}, // +10%: ok
+		{Package: "p", Name: "BenchmarkB", Procs: 8, NsPerOp: 1200}, // +20%: regression
+		{Package: "p", Name: "BenchmarkC", Procs: 8, NsPerOp: 700},  // improvement
+		{Package: "p", Name: "BenchmarkNew", Procs: 8, NsPerOp: 900},
+	}
+	cmp := Compare(old, fresh, 15, nil)
+	regs := cmp.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0].Key, "BenchmarkB") {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkB", regs)
+	}
+	if len(cmp.Deltas) != 5 {
+		t.Fatalf("deltas = %d, want 5 (3 matched + 1 added + 1 removed)", len(cmp.Deltas))
+	}
+	var added, removed bool
+	for _, d := range cmp.Deltas {
+		if d.OnlyNew && strings.Contains(d.Key, "BenchmarkNew") {
+			added = true
+		}
+		if d.OnlyOld && strings.Contains(d.Key, "BenchmarkGone") {
+			removed = true
+		}
+		if (d.OnlyNew || d.OnlyOld) && d.Regressed {
+			t.Errorf("one-sided benchmark flagged as regression: %+v", d)
+		}
+	}
+	if !added || !removed {
+		t.Error("added/removed benchmarks not reported")
+	}
+	var out strings.Builder
+	cmp.Render(&out)
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("render does not mark the regression:\n%s", out.String())
+	}
+}
+
+// TestCompareMatchFilter: -match restricts the comparison by name, so
+// a noisy benchmark outside the filter cannot fail the gate.
+func TestCompareMatchFilter(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkNoisy", Procs: 1, NsPerOp: 100},
+		{Name: "BenchmarkKernel", Procs: 1, NsPerOp: 100},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkNoisy", Procs: 1, NsPerOp: 400},
+		{Name: "BenchmarkKernel", Procs: 1, NsPerOp: 100},
+	}
+	cmp := Compare(old, fresh, 15, regexpMust(t, "Kernel"))
+	if len(cmp.Deltas) != 1 {
+		t.Fatalf("deltas = %+v, want only BenchmarkKernel", cmp.Deltas)
+	}
+	if len(cmp.Regressions()) != 0 {
+		t.Errorf("filtered comparison regressed: %+v", cmp.Regressions())
+	}
+}
+
+func regexpMust(t *testing.T, expr string) *regexp.Regexp {
+	t.Helper()
+	re, err := regexp.Compile(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return re
+}
+
+// TestRunCompareEndToEnd drives the file-level entry: JSON in, table
+// out, error naming the regression count.
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rs []Result) string {
+		data, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", []Result{{Name: "BenchmarkX", Procs: 4, NsPerOp: 100}})
+	samePath := write("same.json", []Result{{Name: "BenchmarkX", Procs: 4, NsPerOp: 105}})
+	worsePath := write("worse.json", []Result{{Name: "BenchmarkX", Procs: 4, NsPerOp: 200}})
+
+	var out strings.Builder
+	if err := runCompare([]string{oldPath, samePath}, 15, "", &out); err != nil {
+		t.Fatalf("5%% drift failed the gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkX") {
+		t.Errorf("table missing the benchmark:\n%s", out.String())
+	}
+	err := runCompare([]string{oldPath, worsePath}, 15, "", io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("2x slowdown passed the gate: %v", err)
+	}
+	if err := runCompare([]string{oldPath}, 15, "", io.Discard); err == nil {
+		t.Error("one file should fail usage validation")
+	}
+	if err := runCompare([]string{oldPath, samePath}, 15, "[", io.Discard); err == nil {
+		t.Error("bad -match regexp should fail")
+	}
+	if err := runCompare([]string{oldPath, filepath.Join(dir, "missing.json")}, 15, "", io.Discard); err == nil {
+		t.Error("missing file should fail")
 	}
 }

@@ -31,11 +31,14 @@
 // An interrupt (Ctrl-C) cancels a sweep between operating points.
 //
 // Every sweep subcommand and `run` also accept the observability flags
-// [-v] [-telemetry out.jsonl [-tsample N]] [-pprof addr]: verbose
-// per-point progress on stderr, an every-N-slots kernel time series as
-// JSON lines, and a live net/http/pprof + expvar endpoint. None of
-// them touch stdout — reports stay byte-identical with or without
-// them.
+// [-v] [-telemetry out.jsonl [-tsample N]] [-pprof addr]
+// [-trace out.trace.json] [-metrics out.json]: verbose per-point
+// progress on stderr, an every-N-slots kernel time series as JSON
+// lines, a live net/http/pprof + expvar endpoint, an execution profile
+// of the run itself (shard phases, sweep-worker occupancy, cache
+// waits) as Perfetto-loadable Chrome trace JSON, and a final process
+// metrics snapshot. None of them touch stdout — reports stay
+// byte-identical with or without them.
 package main
 
 import (
@@ -56,6 +59,7 @@ import (
 	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
 	"fabricpower/internal/telemetry"
+	"fabricpower/internal/telemetry/trace"
 	"fabricpower/study"
 )
 
@@ -151,8 +155,12 @@ bit-identical for any worker count
 sweep commands and run accept observability flags: -v (per-point
 progress with worker and duration, on stderr), -telemetry out.jsonl
 with -tsample N (every-N-slots power/utilization/latency time series),
--pprof addr (net/http/pprof + expvar server for the run's duration);
-none of them change stdout`)
+-pprof addr (net/http/pprof + expvar server for the run's duration),
+-trace out.trace.json (execution profile of the run itself — shard
+compute/exchange/barrier phases, sweep-worker occupancy, cache waits —
+as Chrome trace-event JSON, loadable at ui.perfetto.dev), -metrics
+out.json (final process metrics registry snapshot on exit); none of
+them change stdout`)
 }
 
 // sweepFlags bundles the flags every sweep subcommand shares, replacing
@@ -205,10 +213,12 @@ func (s *sweepFlags) emit(ctx context.Context, spec study.Spec, w io.Writer) err
 // stderr, telemetry to its own file, profiles to an HTTP server —
 // reports stay byte-identical whether or not the flags are set.
 type obsFlags struct {
-	pprofAddr string
-	telPath   string
-	tsample   uint64
-	verbose   bool
+	pprofAddr   string
+	telPath     string
+	tsample     uint64
+	verbose     bool
+	tracePath   string
+	metricsPath string
 }
 
 func (o *obsFlags) register(fs *flag.FlagSet) {
@@ -216,6 +226,8 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&o.telPath, "telemetry", "", "write per-point kernel telemetry time series to this file as JSON lines")
 	fs.Uint64Var(&o.tsample, "tsample", 64, "telemetry sample interval in slots")
 	fs.BoolVar(&o.verbose, "v", false, "log per-point progress (worker, wall-clock duration) to stderr")
+	fs.StringVar(&o.tracePath, "trace", "", "profile the run's execution (shard phases, sweep workers, cache waits) into this file as Chrome trace-event JSON; load it at ui.perfetto.dev")
+	fs.StringVar(&o.metricsPath, "metrics", "", "write a final process-metrics registry snapshot (counters, gauges, histograms) to this file as JSON on exit")
 }
 
 // options assembles the grid-run options the observability flags ask
@@ -256,6 +268,36 @@ func (o *obsFlags) options(workers int) (study.RunOptions, func() error, error) 
 		}
 		opt.Telemetry = &study.TelemetryOptions{Out: f, Every: o.tsample}
 		closers = append(closers, f.Close)
+	}
+	if o.tracePath != "" {
+		rec := trace.NewRecorder(0)
+		opt.Trace = rec
+		path := o.tracePath
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := rec.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	if o.metricsPath != "" {
+		path := o.metricsPath
+		closers = append(closers, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := telemetry.Default().WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
 	}
 	return opt, cleanup, nil
 }
@@ -377,6 +419,8 @@ func runTable1(ctx context.Context, args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "payload PRNG seed")
 	workers := fs.Int("workers", 0, "parallel characterizations (0 = all cores)")
 	printScenario := fs.Bool("print-scenario", false, "emit the equivalent scenario spec as JSON instead of running")
+	var obs obsFlags
+	obs.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,11 +429,15 @@ func runTable1(ctx context.Context, args []string, w io.Writer) error {
 	if *printScenario {
 		return spec.Encode(w)
 	}
-	rep, err := exp.RunSpec(ctx, spec, *workers)
+	opt, cleanup, err := obs.options(*workers)
 	if err != nil {
 		return err
 	}
-	return rep.Render(w)
+	rerr := runAndRender(ctx, spec, opt, "", w)
+	if cerr := cleanup(); rerr == nil {
+		rerr = cerr
+	}
+	return rerr
 }
 
 func runTable2(w io.Writer) error {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -286,9 +287,10 @@ func TestRunNetFaultFlags(t *testing.T) {
 }
 
 // TestObservabilityFlagsLeaveStdoutIdentical pins the observability
-// contract at the CLI: -v, -telemetry and -tsample change nothing on
-// stdout — the rendered report is byte-identical with and without
-// them — while the telemetry file fills with point-tagged JSONL.
+// contract at the CLI: -v, -telemetry/-tsample, -trace and -metrics
+// change nothing on stdout — the rendered report is byte-identical
+// with and without them — while the side files fill with point-tagged
+// JSONL, a Chrome trace, and a metrics snapshot.
 func TestObservabilityFlagsLeaveStdoutIdentical(t *testing.T) {
 	ctx := context.Background()
 	args := []string{"-topos", "ring", "-nodes", "4", "-policies", "idlegate",
@@ -297,10 +299,14 @@ func TestObservabilityFlagsLeaveStdoutIdentical(t *testing.T) {
 	if err := runNet(ctx, args, &plain); err != nil {
 		t.Fatal(err)
 	}
-	telPath := filepath.Join(t.TempDir(), "tel.jsonl")
+	dir := t.TempDir()
+	telPath := filepath.Join(dir, "tel.jsonl")
+	tracePath := filepath.Join(dir, "run.trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
 	var tapped strings.Builder
 	withObs := append(append([]string{}, args...),
-		"-v", "-telemetry", telPath, "-tsample", "50")
+		"-v", "-telemetry", telPath, "-tsample", "50",
+		"-trace", tracePath, "-metrics", metricsPath)
 	if err := runNet(ctx, withObs, &tapped); err != nil {
 		t.Fatal(err)
 	}
@@ -327,6 +333,83 @@ func TestObservabilityFlagsLeaveStdoutIdentical(t *testing.T) {
 		if rec.Point == nil || rec.Kind == "" {
 			t.Fatalf("telemetry line %d missing point/kind: %s", i, line)
 		}
+	}
+	checkTraceFile(t, tracePath)
+	var snap struct {
+		Metrics    map[string]int64    `json:"metrics"`
+		Histograms map[string][]uint64 `json:"histograms"`
+	}
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatalf("-metrics output is not a registry snapshot: %v", err)
+	}
+	if snap.Metrics["netsim.networks.built"] == 0 {
+		t.Error("-metrics snapshot carries no netsim counters")
+	}
+	if len(snap.Histograms["netsim.step.barrier_wait_ns"]) == 0 {
+		t.Error("-metrics snapshot carries no barrier-wait histogram")
+	}
+}
+
+// checkTraceFile machine-validates a -trace output: well-formed Chrome
+// trace JSON whose spans cover all three instrumented layers — the
+// sweep engine, the sharded kernel, and (when cold) the caches.
+func checkTraceFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	spans := make(map[string]int)
+	threads := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threads[fmt.Sprint(ev.Args["name"])]++
+			}
+		case "X":
+			if ev.PID == nil || ev.TID == nil || ev.TS == nil || ev.Dur == nil {
+				t.Fatalf("X event %q missing pid/tid/ts/dur: %+v", ev.Name, ev)
+			}
+			spans[ev.Name]++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"slot", "compute", "exchange", "wait", "point"} {
+		if spans[want] == 0 {
+			t.Errorf("trace has no %q spans (spans: %v)", want, spans)
+		}
+	}
+	if threads["sweep worker 0"] == 0 {
+		t.Errorf("trace has no sweep worker row (threads: %v)", threads)
+	}
+	kernelRow := false
+	for name := range threads {
+		if strings.Contains(name, "coordinator") {
+			kernelRow = true
+		}
+	}
+	if !kernelRow {
+		t.Errorf("trace has no kernel coordinator row (threads: %v)", threads)
 	}
 }
 

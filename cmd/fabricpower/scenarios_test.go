@@ -8,6 +8,48 @@ import (
 	"testing"
 )
 
+// TestScenarioGoldenWithTrace re-runs one network scenario from the
+// corpus with -trace attached: the stdout report must stay
+// byte-identical to the pinned golden (profiling is simulation-
+// invisible), and the side file must be a valid Chrome trace carrying
+// spans from the kernel, the sweep engine, and (cold) caches.
+func TestScenarioGoldenWithTrace(t *testing.T) {
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(repoRoot); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	const name = "green-network"
+	tracePath := filepath.Join(t.TempDir(), name+".trace.json")
+	var out strings.Builder
+	err = dispatch(context.Background(), "run",
+		[]string{filepath.Join("scenarios", name+".json"), "-trace", tracePath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("scenarios", "golden", name+".txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-trace changed the %s report:\n--- got ---\n%s\n--- want ---\n%s",
+			name, out.String(), want)
+	}
+	checkTraceFile(t, tracePath)
+}
+
 // updateGolden regenerates the pinned scenario reports instead of
 // comparing: UPDATE_GOLDEN=1 go test ./cmd/fabricpower -run ScenarioGolden
 var updateGolden = os.Getenv("UPDATE_GOLDEN") != ""

@@ -14,11 +14,12 @@
 //  1. a fat-tree network scenario with an explicit fault window
 //     (one leaf uplink cut mid-run, repaired later),
 //  2. per-point progress events (the studyd wire format) on stderr,
-//  3. the JSONL time series captured in memory and rendered as
-//     sparklines: dynamic power sags and link availability dips over
-//     the outage, then both recover,
-//  4. the per-flow summary: delivery counts and mean end-to-end
-//     latency from each flow's histogram.
+//  3. the JSONL time series captured in memory and rendered with the
+//     telemetry package's shared sparkline helper: dynamic power sags
+//     and link availability dips over the outage, then both recover,
+//  4. the per-flow summary: delivery counts plus median and p95
+//     end-to-end latency read back from each flow's histogram with
+//     telemetry.Histogram.Quantile.
 //
 // Run with:
 //
@@ -35,6 +36,7 @@ import (
 	"os"
 	"strings"
 
+	"fabricpower/internal/telemetry"
 	"fabricpower/study"
 )
 
@@ -62,47 +64,12 @@ type sample struct {
 	} `json:"flows"`
 }
 
-// spark renders values as a unicode sparkline, scaled to the series
-// maximum.
-func spark(vals []float64) string {
-	ramp := []rune("▁▂▃▄▅▆▇█")
-	max := 0.0
-	for _, v := range vals {
-		if v > max {
-			max = v
-		}
-	}
-	var b strings.Builder
-	for _, v := range vals {
-		i := 0
-		if max > 0 {
-			i = int(v / max * float64(len(ramp)-1))
-		}
-		b.WriteRune(ramp[i])
-	}
-	return b.String()
-}
-
-// meanLatency estimates a histogram's mean in slots from the bucket
-// midpoints (bucket 0 is exactly zero, bucket i spans [2^(i-1), 2^i)).
-func meanLatency(hist []uint64) float64 {
-	var cells, sum float64
-	for i, c := range hist {
-		if c == 0 {
-			continue
-		}
-		mid := 0.0
-		if i > 0 {
-			lo := uint64(1) << (i - 1)
-			mid = float64(lo+lo*2-1) / 2 // midpoint of [2^(i-1), 2^i)
-		}
-		cells += float64(c)
-		sum += float64(c) * mid
-	}
-	if cells == 0 {
-		return 0
-	}
-	return sum / cells
+// latencyQuantile reads a quantile back out of a serialized latency
+// histogram by rehydrating it as a telemetry.Histogram.
+func latencyQuantile(counts []uint64, q float64) uint64 {
+	h := telemetry.NewHistogram(len(counts))
+	h.MergeCounts(counts)
+	return h.Quantile(q)
 }
 
 func main() {
@@ -175,15 +142,17 @@ func main() {
 	}
 	fmt.Printf("fat-tree/4 idlegate@0.25, link %d–%d down for slots [%d,%d) of %d:\n\n",
 		link[0], link[1], warmup+cut, warmup+repair, warmup+*slots)
-	fmt.Printf("  total power  %s  %.2f…%.2f mW\n", spark(power), minOf(power), maxOf(power))
-	fmt.Printf("  link avail   %s  %.0f%%…%.0f%%\n", spark(avail), minOf(avail)*100, maxOf(avail)*100)
-	fmt.Printf("  delivery     %s  %.0f%%…%.0f%%\n\n", spark(delivery), minOf(delivery)*100, maxOf(delivery)*100)
+	fmt.Printf("  total power  %s  %.2f…%.2f mW\n", telemetry.Sparkline(power), minOf(power), maxOf(power))
+	fmt.Printf("  link avail   %s  %.0f%%…%.0f%%\n", telemetry.Sparkline(avail), minOf(avail)*100, maxOf(avail)*100)
+	fmt.Printf("  delivery     %s  %.0f%%…%.0f%%\n\n", telemetry.Sparkline(delivery), minOf(delivery)*100, maxOf(delivery)*100)
 
 	// The per-flow wrap-up: who carried the run, and at what latency.
 	fmt.Printf("per-flow summary (%d flows):\n", len(flows.Flows))
 	for _, f := range flows.Flows {
-		fmt.Printf("  %d→%d: %6d cells, mean latency %5.1f slots\n",
-			f.Src, f.Dst, f.Delivered, meanLatency(f.Latency))
+		fmt.Printf("  %d→%d: %6d cells, latency p50 %3d  p95 %3d slots  %s\n",
+			f.Src, f.Dst, f.Delivered,
+			latencyQuantile(f.Latency, 0.5), latencyQuantile(f.Latency, 0.95),
+			telemetry.SparklineCounts(f.Latency))
 	}
 	fmt.Printf("\nend-of-run report agrees: %.2f mW total, %.1f%% delivered, %d cells lost to the outage\n",
 		r.Power.TotalMW(), r.Net.DeliveryRatio*100, r.Net.Resilience.LostCells)

@@ -14,6 +14,7 @@ import (
 	"fabricpower/internal/circuits"
 	"fabricpower/internal/gates"
 	"fabricpower/internal/telemetry"
+	"fabricpower/internal/telemetry/trace"
 )
 
 // Process-wide cache telemetry, visible through the default registry and
@@ -98,11 +99,13 @@ func (c *CharCache) Characterize(sw *circuits.Switch, opt CharOptions) (Table, e
 	key := keyOf(sw, opt)
 	c.mu.Lock()
 	e, ok := c.entries[key]
+	joining := false
 	if ok {
 		c.hits++
 		charHits.Inc()
 		if !e.done.Load() {
 			charSingleflight.Inc()
+			joining = true
 		}
 	} else {
 		e = &charEntry{}
@@ -111,10 +114,27 @@ func (c *CharCache) Characterize(sw *circuits.Switch, opt CharOptions) (Table, e
 		charMisses.Inc()
 	}
 	c.mu.Unlock()
+	// Cold-start stalls are the sweep's longest single waits; with a
+	// run's recorder active, the characterization itself and every
+	// single-flight join blocked behind it become visible spans.
+	rec := trace.Active()
+	var start int64
+	if rec != nil {
+		start = rec.Now()
+	}
+	ran := false
 	e.once.Do(func() {
 		e.tab, e.err = Characterize(sw, opt)
 		e.done.Store(true)
+		ran = true
 	})
+	if rec != nil {
+		if ran {
+			rec.EmitShared(0, "energy cache", "characterize", start, rec.Now())
+		} else if joining {
+			rec.EmitShared(0, "energy cache", "singleflight-join", start, rec.Now())
+		}
+	}
 	return e.tab, e.err
 }
 

@@ -1,11 +1,15 @@
 package energy
 
 import (
+	"bytes"
+	"encoding/json"
+	"runtime"
 	"sync"
 	"testing"
 
 	"fabricpower/internal/circuits"
 	"fabricpower/internal/gates"
+	"fabricpower/internal/telemetry/trace"
 )
 
 // TestCharCacheSingleRun: concurrent requests for the same configuration
@@ -150,4 +154,99 @@ func TestCachedPaperMux(t *testing.T) {
 	if a.EnergyFJ(0b1) != plain.EnergyFJ(0b1) {
 		t.Fatalf("cached %g, plain %g", a.EnergyFJ(0b1), plain.EnergyFJ(0b1))
 	}
+}
+
+// TestCharCacheTraceSpans: with a run recorder active, the goroutine
+// that runs a characterization emits a "characterize" span and a
+// goroutine blocked behind the in-flight entry emits a
+// "singleflight-join" span. The in-flight window is pinned open with a
+// pre-seeded entry whose once blocks on a channel, so the join is
+// deterministic, not a timing accident.
+func TestCharCacheTraceSpans(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	trace.SetActive(rec)
+	defer trace.SetActive(nil)
+
+	lib, err := gates.NewLibrary(2.0, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := circuits.BanyanSwitch(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := CharOptions{Cycles: 16, Seed: 5}
+
+	// Miss path: a fresh cache runs the characterization.
+	if _, err := NewCharCache().Characterize(sw, opt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Join path: seed an entry whose once is held open, then look the
+	// same key up from another goroutine.
+	cache := NewCharCache()
+	e := &charEntry{}
+	cache.entries[keyOf(sw, opt)] = e
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go e.once.Do(func() {
+		close(started)
+		<-release
+		e.done.Store(true)
+	})
+	<-started
+	joined := make(chan struct{})
+	go func() {
+		defer close(joined)
+		if _, err := cache.Characterize(sw, opt); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Release only after the joiner's lookup has landed (its hit is
+	// counted in the same critical section that saw done == false), so
+	// the single-flight window is provably open when it joins.
+	for {
+		if hits, _ := cache.Stats(); hits >= 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	<-joined
+
+	tk := rec.Track(0, "energy cache")
+	spans := map[string]int{}
+	for _, ev := range exportEvents(t, rec) {
+		if ev.Ph == "X" {
+			spans[ev.Name]++
+		}
+	}
+	if tk.Len() == 0 || spans["characterize"] == 0 {
+		t.Errorf("no characterize span recorded (spans: %v)", spans)
+	}
+	if spans["singleflight-join"] == 0 {
+		t.Errorf("no singleflight-join span recorded (spans: %v)", spans)
+	}
+}
+
+// exportEvents decodes a recorder's Chrome trace export.
+func exportEvents(t *testing.T, rec *trace.Recorder) []struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+} {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.TraceEvents
 }

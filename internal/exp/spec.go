@@ -7,6 +7,7 @@ import (
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/plot"
+	"fabricpower/internal/telemetry/trace"
 	"fabricpower/study"
 )
 
@@ -321,6 +322,12 @@ func RunSpecOpts(ctx context.Context, spec study.Spec, opt study.RunOptions) (Re
 		model, err := spec.Base.Model.Build()
 		if err != nil {
 			return nil, err
+		}
+		// No grid run installs the recorder here, but the gate-level
+		// characterizations still emit cache spans when one is active.
+		if opt.Trace != nil {
+			trace.SetActive(opt.Trace)
+			defer trace.SetActive(nil)
 		}
 		c := spec.Base.Char
 		return RunTable1(model, Table1Options{

@@ -11,6 +11,7 @@ import (
 	"fabricpower/internal/core"
 	"fabricpower/internal/packet"
 	"fabricpower/internal/telemetry"
+	"fabricpower/internal/telemetry/trace"
 	"fabricpower/internal/traffic"
 )
 
@@ -728,43 +729,52 @@ func bench64Topology(tb testing.TB) *Topology {
 // BenchmarkNetworkStepSharded measures the two-phase kernel on a
 // 64-router backbone, sequential versus one shard per core — the
 // scale-pass speedup the sharding exists for — and, per shard count,
-// with the telemetry collector detached versus attached (sampling
-// every 64 slots into a JSONL writer): the CI bench job tracks the
-// enabled/off ratio against the <10% overhead budget.
+// with the telemetry collector and the execution profiler detached
+// versus attached (each sampling every 64 slots): the CI bench job
+// tracks the enabled/off ratios against the <10% overhead budget.
 func BenchmarkNetworkStepSharded(b *testing.B) {
-	for _, shards := range []int{1, runtime.GOMAXPROCS(0)} {
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
 		for _, tel := range []string{"off", "on"} {
-			b.Run(fmt.Sprintf("shards=%d/telemetry=%s", shards, tel), func(b *testing.B) {
-				model := core.PaperModel()
-				model.Static = core.DefaultStaticPower()
-				cfg := testConfig(bench64Topology(b))
-				cfg.Model = model
-				cfg.Policy = "idlegate"
-				cfg.Load = 0.3
-				cfg.Shards = shards
-				if tel == "on" {
-					w := telemetry.NewWriter(io.Discard)
-					cfg.Telemetry = &TelemetryConfig{
-						Every:    64,
-						OnSample: func(s *TelemetrySample) { w.Emit(s) },
+			for _, tr := range []string{"off", "on"} {
+				b.Run(fmt.Sprintf("shards=%d/telemetry=%s/trace=%s", shards, tel, tr), func(b *testing.B) {
+					model := core.PaperModel()
+					model.Static = core.DefaultStaticPower()
+					cfg := testConfig(bench64Topology(b))
+					cfg.Model = model
+					cfg.Policy = "idlegate"
+					cfg.Load = 0.3
+					cfg.Shards = shards
+					if tel == "on" {
+						w := telemetry.NewWriter(io.Discard)
+						cfg.Telemetry = &TelemetryConfig{
+							Every:    64,
+							OnSample: func(s *TelemetrySample) { w.Emit(s) },
+						}
 					}
-				}
-				net, err := New(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer net.Close()
-				slot := uint64(0)
-				for ; slot < 100; slot++ {
-					net.Step(slot)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					net.Step(slot)
-					slot++
-				}
-			})
+					if tr == "on" {
+						cfg.Trace = &TraceConfig{Recorder: trace.NewRecorder(0), Every: 64}
+					}
+					net, err := New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer net.Close()
+					slot := uint64(0)
+					for ; slot < 100; slot++ {
+						net.Step(slot)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						net.Step(slot)
+						slot++
+					}
+				})
+			}
 		}
 	}
 }

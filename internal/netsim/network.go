@@ -70,6 +70,12 @@ type Config struct {
 	// kernel on its telemetry-free fast path: no telemetry branch is
 	// taken and results are byte-identical to a run without the field.
 	Telemetry *TelemetryConfig
+	// Trace attaches the execution profiler (see TraceConfig): sampled
+	// per-shard phase spans, barrier waits and per-node cost onto a
+	// trace.Recorder. Same contract as Telemetry: nil means the
+	// profiler-free fast path, and a traced run's results are
+	// bit-identical — the profiler observes wall-clock time only.
+	Trace *TraceConfig
 	// Shards partitions the routers across worker goroutines stepping
 	// the network with a deterministic two-phase (compute/exchange)
 	// barrier: phase 1 injects, drains incoming links and steps each
@@ -135,6 +141,7 @@ func (q *linkQueue) pop() *packet.Cell {
 // range plus the measurement counters it accumulates privately (merged
 // at report time, so no counter is ever shared between goroutines).
 type shard struct {
+	id    int
 	nodes []int
 
 	// Measured-window counters (end-to-end, across hops).
@@ -209,6 +216,7 @@ type Network struct {
 	// same contract for the telemetry collector.
 	fail   *faultState
 	tel    *telCollector
+	prof   *execProf
 	closed bool
 }
 
@@ -331,6 +339,9 @@ func New(cfg Config) (*Network, error) {
 		shards = t.Nodes
 	}
 	n.shards = make([]shard, shards)
+	for w := range n.shards {
+		n.shards[w].id = w
+	}
 	for u := 0; u < t.Nodes; u++ {
 		w := u * shards / t.Nodes
 		n.shards[w].nodes = append(n.shards[w].nodes, u)
@@ -352,6 +363,9 @@ func New(cfg Config) (*Network, error) {
 		for w := range n.shards {
 			n.shards[w].telLat = make([]uint64, n.tel.cfg.LatencyBuckets)
 		}
+	}
+	if cfg.Trace != nil && cfg.Trace.Recorder != nil {
+		n.prof = newExecProf(n)
 	}
 	telNetworksBuilt.Inc()
 	return n, nil
@@ -409,15 +423,24 @@ func (n *Network) Step(slot uint64) {
 	if n.fail != nil && slot >= n.fail.nextSlot {
 		n.applyFaults(slot)
 	}
+	if n.prof != nil {
+		n.prof.beginSlot(slot)
+	}
 	if len(n.shards) == 1 {
 		n.computePhase(&n.shards[0], slot)
 		n.exchangePhase(&n.shards[0], slot)
-		return
+	} else {
+		if n.pool == nil {
+			n.pool = newShardPool(n)
+		}
+		n.pool.step(slot)
 	}
-	if n.pool == nil {
-		n.pool = newShardPool(n)
+	if n.prof != nil && n.prof.sampling {
+		// After the exchange barrier every shard's phase timings are
+		// published (the done-channel receives order them); fold the
+		// sampled slot into the profile single-threaded.
+		n.prof.closeSlot(slot)
 	}
-	n.pool.step(slot)
 }
 
 // Close releases the shard worker goroutines. Only networks that ran a
@@ -439,20 +462,48 @@ func (n *Network) Close() {
 // routers, the head side of incoming link queues, the shard counters)
 // is owned by this shard during the phase.
 func (n *Network) computePhase(s *shard, slot uint64) {
-	for _, u := range s.nodes {
-		r := n.routers[u]
-		n.injectNode(s, u, slot)
-		if n.fail != nil && n.fail.nodeDown[u] {
-			// A failed router neither forwards nor burns fabric
-			// energy; it parks at the plan's residual power (charged
-			// in the resilience ledger). Its sources still tick —
-			// their cells are lost, not deferred — and its incident
-			// links are all down, so nothing waits on them.
-			continue
-		}
-		n.drainInLinks(s, u, slot)
-		n.stepNode(s, u, r, slot)
+	if n.prof != nil && n.prof.sampling {
+		n.computePhaseProf(s, slot)
+		return
 	}
+	for _, u := range s.nodes {
+		n.nodeSlot(s, u, slot)
+	}
+}
+
+// computePhaseProf is computePhase on a sampled slot: the same node
+// walk, with the shard's phase span and each node's cost timed. Only
+// the owning shard worker runs it, so every write (its track, its
+// timing slots, its nodes' cost cells) is single-writer.
+func (n *Network) computePhaseProf(s *shard, slot uint64) {
+	p := n.prof
+	start := p.rec.Now()
+	last := start
+	for _, u := range s.nodes {
+		n.nodeSlot(s, u, slot)
+		now := p.rec.Now()
+		p.nodeBusyNS[u] += uint64(now - last)
+		last = now
+	}
+	p.tracks[s.id].EmitArg("compute", start, last, int64(slot))
+	p.computeNS[s.id] = last - start
+	p.phaseEnd[s.id] = last
+}
+
+// nodeSlot runs one node's compute-phase work: source injection,
+// incoming-link draining, the router's slot.
+func (n *Network) nodeSlot(s *shard, u int, slot uint64) {
+	n.injectNode(s, u, slot)
+	if n.fail != nil && n.fail.nodeDown[u] {
+		// A failed router neither forwards nor burns fabric
+		// energy; it parks at the plan's residual power (charged
+		// in the resilience ledger). Its sources still tick —
+		// their cells are lost, not deferred — and its incident
+		// links are all down, so nothing waits on them.
+		return
+	}
+	n.drainInLinks(s, u, slot)
+	n.stepNode(s, u, n.routers[u], slot)
 }
 
 // injectNode draws each locally sourced flow's arrival process and
@@ -593,6 +644,26 @@ func (n *Network) stepNode(s *shard, u int, r *router.Router, slot uint64) {
 // source node's shard pushes onto a link (a link has one From node), so
 // every queue keeps a single writer.
 func (n *Network) exchangePhase(s *shard, slot uint64) {
+	if n.prof != nil && n.prof.sampling {
+		p := n.prof
+		start := p.rec.Now()
+		// The gap since this shard finished compute is its barrier
+		// wait for the slowest shard (plus coordinator turnaround).
+		if pe := p.phaseEnd[s.id]; pe != 0 && pe < start {
+			p.tracks[s.id].Emit("barrier", pe, start)
+		}
+		n.exchangeNodes(s)
+		end := p.rec.Now()
+		p.tracks[s.id].Emit("exchange", start, end)
+		p.exchangeNS[s.id] = end - start
+		return
+	}
+	n.exchangeNodes(s)
+}
+
+// exchangeNodes is the exchange phase's body: each owned node's staged
+// cells onto their next links.
+func (n *Network) exchangeNodes(s *shard) {
 	for _, u := range s.nodes {
 		for _, c := range n.outbox[u] {
 			f := &n.flows[c.FlowID]

@@ -127,6 +127,12 @@ type TelemetrySummary struct {
 	Kind  string          `json:"kind"` // "net_flows"
 	Slot  uint64          `json:"slot"`
 	Flows []FlowTelemetry `json:"flows"`
+	// NodeCostNS appears only when the run also carried an execution
+	// profiler (Config.Trace): each node's sampled busy nanoseconds —
+	// the per-node cost estimate a cost-weighted partitioner consumes
+	// (see ExecProfile). Wall-clock measurement, so unlike every other
+	// field it is not deterministic across runs or shard counts.
+	NodeCostNS []uint64 `json:"nodeCostNS,omitempty"`
 }
 
 // telCollector is the per-network sampling state. Hot-path counters are
@@ -193,6 +199,10 @@ func newTelCollector(n *Network) *telCollector {
 // Step before the phases, from beginMeasurement, and at the end of
 // Run), so every ledger it reads is quiescent. Allocation-free.
 func (n *Network) take(slot uint64) {
+	var mergeStart int64
+	if n.prof != nil {
+		mergeStart = n.prof.rec.Now()
+	}
 	t := n.tel
 	interval := slot - t.startSlot
 	t.startSlot = slot
@@ -298,6 +308,11 @@ func (n *Network) take(slot uint64) {
 	if t.cfg.OnSample != nil {
 		t.cfg.OnSample(smp)
 	}
+	if n.prof != nil {
+		// The telemetry merge is coordinator work; show it on the
+		// coordinator row so sampling cost is visible in the trace.
+		n.prof.coordTrk.Emit("merge", mergeStart, n.prof.rec.Now())
+	}
 }
 
 // rebase zeroes the delta baselines after beginMeasurement reset the
@@ -328,6 +343,9 @@ func (n *Network) summarize(slot uint64) *TelemetrySummary {
 			DeliveredCells: t.flowDelivered[fi],
 			Latency:        hist,
 		}
+	}
+	if n.prof != nil {
+		sum.NodeCostNS = append([]uint64(nil), n.prof.nodeBusyNS...)
 	}
 	return sum
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/telemetry/trace"
 )
 
 // Point is one operating point of a sweep: an architecture simulated at a
@@ -132,6 +133,17 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, fn func(i int
 // index influence its result, or the any-worker-count determinism
 // guarantee is forfeit.
 func MapCtxW[T, R any](ctx context.Context, workers int, items []T, fn func(worker, i int, item T) (R, error)) ([]R, []bool, error) {
+	return MapCtxWT(ctx, workers, items, fn, nil)
+}
+
+// MapCtxWT is MapCtxW with an execution-profile recorder attached: each
+// pool worker gets one timeline row ("sweep worker N") carrying a
+// "wait" span for the gap since its previous point (scheduling queue
+// wait; the run-up to the first point for a fresh worker) and a "point"
+// span per evaluated point, tagged with the point index — so a grid
+// run's idle tails and stragglers are visible in Perfetto. A nil rec is
+// exactly MapCtxW: the profiling closure is not even installed.
+func MapCtxWT[T, R any](ctx context.Context, workers int, items []T, fn func(worker, i int, item T) (R, error), rec *trace.Recorder) ([]R, []bool, error) {
 	if fn == nil {
 		return nil, nil, fmt.Errorf("sweep: fn is required")
 	}
@@ -161,6 +173,29 @@ func MapCtxW[T, R any](ctx context.Context, workers int, items []T, fn func(work
 			}
 		}()
 		return fn(worker, i, item)
+	}
+	if rec != nil {
+		// One track per worker, registered up front so even a worker
+		// the work-stealing loop starves still gets its (empty) row.
+		// Each lasts[w] cell is written only by worker w's goroutine,
+		// like the track itself.
+		tracks := make([]*trace.Track, workers)
+		lasts := make([]int64, workers)
+		for w := range tracks {
+			tracks[w] = rec.Track(0, fmt.Sprintf("sweep worker %d", w))
+			lasts[w] = rec.Now()
+		}
+		inner := call
+		call = func(worker, i int, item T) (R, error) {
+			tk := tracks[worker]
+			start := rec.Now()
+			tk.Emit("wait", lasts[worker], start)
+			r, err := inner(worker, i, item)
+			end := rec.Now()
+			tk.EmitArg("point", start, end, int64(i))
+			lasts[worker] = end
+			return r, err
+		}
 	}
 	if workers == 1 {
 		for i, item := range items {

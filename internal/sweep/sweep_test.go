@@ -1,14 +1,18 @@
 package sweep
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
 
 	"fabricpower/internal/core"
+	"fabricpower/internal/telemetry/trace"
 )
 
 // TestMapPreservesOrder: results land at their item index for any worker
@@ -213,5 +217,89 @@ func TestMapRecoversPanics(t *testing.T) {
 	}
 	if done[5] {
 		t.Error("panicking point marked done")
+	}
+}
+
+// TestMapCtxWTSpans: the traced sweep produces identical results to the
+// untraced one and one timeline row per worker, each carrying wait and
+// point spans whose indices cover every item exactly once.
+func TestMapCtxWTSpans(t *testing.T) {
+	items := make([]int, 12)
+	for i := range items {
+		items[i] = i
+	}
+	square := func(_, _ int, v int) (int, error) { return v * v, nil }
+	plain, _, err := MapCtxW(context.Background(), 3, items, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	traced, _, err := MapCtxWT(context.Background(), 3, items, square, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Errorf("traced results %v differ from plain %v", traced, plain)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	pointSeen := make(map[int]int)
+	waits := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name" && strings.HasPrefix(fmt.Sprint(ev.Args["name"]), "sweep worker"):
+			rows++
+		case ev.Ph == "X" && ev.Name == "point":
+			pointSeen[int(ev.Args["v"].(float64))]++
+		case ev.Ph == "X" && ev.Name == "wait":
+			waits++
+		}
+	}
+	if rows != 3 {
+		t.Errorf("%d sweep worker rows, want 3", rows)
+	}
+	if waits != len(items) {
+		t.Errorf("%d wait spans, want one per point (%d)", waits, len(items))
+	}
+	for i := range items {
+		if pointSeen[i] != 1 {
+			t.Errorf("point %d traced %d times, want 1", i, pointSeen[i])
+		}
+	}
+}
+
+// TestMapCtxWTSequential: workers == 1 keeps the inline path and still
+// traces onto worker 0's row.
+func TestMapCtxWTSequential(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	res, _, err := MapCtxWT(context.Background(), 1, []int{1, 2, 3}, func(w, i int, v int) (int, error) {
+		if w != 0 {
+			t.Errorf("sequential run used worker %d", w)
+		}
+		return v + 1, nil
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, []int{2, 3, 4}) {
+		t.Errorf("results %v", res)
+	}
+	tk := rec.Track(0, "sweep worker 0")
+	if tk.Len() != 6 { // one wait + one point per item
+		t.Errorf("worker 0 holds %d spans, want 6", tk.Len())
 	}
 }

@@ -60,14 +60,15 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Load returns the current level.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// Registry holds named counters and gauges. Lookups are get-or-create,
-// so instrumentation sites need no registration ceremony; the returned
-// pointers are stable for the registry's lifetime and should be cached
-// by hot callers.
+// Registry holds named counters, gauges and shared histograms. Lookups
+// are get-or-create, so instrumentation sites need no registration
+// ceremony; the returned pointers are stable for the registry's
+// lifetime and should be cached by hot callers.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*SharedHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -75,6 +76,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*SharedHistogram),
 	}
 }
 
@@ -114,8 +116,63 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named shared histogram, creating it with n
+// buckets on first use (later lookups ignore n).
+func (r *Registry) Histogram(name string, n int) *SharedHistogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = &SharedHistogram{h: NewHistogram(n)}
+	r.hists[name] = h
+	return h
+}
+
+// Histograms returns a copy of every shared histogram's bucket counts
+// keyed by name.
+func (r *Registry) Histograms() map[string][]uint64 {
+	r.mu.RLock()
+	hists := make(map[string]*SharedHistogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+	out := make(map[string][]uint64, len(hists))
+	for name, h := range hists {
+		out[name] = h.Counts()
+	}
+	return out
+}
+
+// WriteJSON renders the registry — counters and gauges flat, shared
+// histograms as bare bucket arrays — as one indented JSON document: the
+// `-metrics out.json` snapshot shape.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics    map[string]int64    `json:"metrics"`
+		Histograms map[string][]uint64 `json:"histograms"`
+	}{Metrics: r.Snapshot(), Histograms: r.Histograms()}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
 // Snapshot returns every metric's current value keyed by name, with
 // gauges and counters in one flat map — the expvar export shape.
+// Histograms are excluded: the expvar document's flat shape is part of
+// the wire contract (see PublishExpvar); histograms travel through
+// WriteJSON instead.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -247,6 +304,115 @@ func BucketLow(i int) uint64 {
 		return 0
 	}
 	return uint64(1) << (i - 1)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile: the
+// inclusive upper edge (2^i − 1) of the bucket holding the ⌈q·total⌉-th
+// smallest observation. Bucket 0 reports 0 exactly; the open-ended last
+// bucket reports its lower bound. q is clamped to [0, 1]; an empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i == len(h.counts)-1 {
+				return BucketLow(i)
+			}
+			return (uint64(1) << i) - 1
+		}
+	}
+	return BucketLow(len(h.counts) - 1)
+}
+
+// sparkRamp is the eight-level unicode ramp Sparkline draws with.
+var sparkRamp = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a unicode sparkline scaled to the series
+// maximum — the one text rendering every CLI and example shares. An
+// all-zero (or empty) series renders as all-minimum bars.
+func Sparkline(vals []float64) string {
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRamp)-1))
+		}
+		out[i] = sparkRamp[idx]
+	}
+	return string(out)
+}
+
+// SparklineCounts renders a histogram-style uint64 bucket slice.
+func SparklineCounts(counts []uint64) string {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	return Sparkline(vals)
+}
+
+// SharedHistogram is a mutex-guarded histogram for registry-resident
+// metrics with more than one writer (e.g. barrier-wait times from many
+// networks). The lock keeps Observe off slot-loop fast paths — kernels
+// observe into it only at sampled barriers, where a handful of
+// nanoseconds of locking is noise.
+type SharedHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// Observe counts one value. Safe for concurrent use; never allocates.
+func (s *SharedHistogram) Observe(v uint64) {
+	s.mu.Lock()
+	s.h.Observe(v)
+	s.mu.Unlock()
+}
+
+// Counts returns a copy of the bucket counts.
+func (s *SharedHistogram) Counts() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(s.h.counts))
+	copy(out, s.h.counts)
+	return out
+}
+
+// Total returns the number of observed values.
+func (s *SharedHistogram) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Total()
+}
+
+// Quantile is Histogram.Quantile under the lock.
+func (s *SharedHistogram) Quantile(q float64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Quantile(q)
 }
 
 // MarshalJSON renders the histogram as its bare bucket-count array.

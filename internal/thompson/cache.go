@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fabricpower/internal/telemetry"
+	"fabricpower/internal/telemetry/trace"
 )
 
 // Process-wide memo telemetry, visible through the default registry and
@@ -37,6 +38,7 @@ func BanyanStageGridTable(dim int) []int {
 		return t
 	}
 	stageGridMisses.Inc()
+	rec, start := traceStart()
 	w := BanyanWires{Dimension: dim}
 	t := make([]int, dim)
 	for s := range t {
@@ -46,6 +48,7 @@ func BanyanStageGridTable(dim int) []int {
 		stageGridCache.banyan = make(map[int][]int)
 	}
 	stageGridCache.banyan[dim] = t
+	traceEnd(rec, "stagegrid banyan", start)
 	return t
 }
 
@@ -60,6 +63,7 @@ func SorterStageGridTable(dim int) []int {
 		return t
 	}
 	stageGridMisses.Inc()
+	rec, start := traceStart()
 	w := BatcherBanyanWires{Dimension: dim}
 	t := make([]int, w.SorterStages())
 	for s := range t {
@@ -69,5 +73,23 @@ func SorterStageGridTable(dim int) []int {
 		stageGridCache.sorter = make(map[int][]int)
 	}
 	stageGridCache.sorter[dim] = t
+	traceEnd(rec, "stagegrid sorter", start)
 	return t
+}
+
+// traceStart/traceEnd bracket a memo fill with a span on the active
+// run's recorder, if one is installed; fills happen once per dimension
+// per process, so the shared (locked) emit path is fine.
+func traceStart() (*trace.Recorder, int64) {
+	rec := trace.Active()
+	if rec == nil {
+		return nil, 0
+	}
+	return rec, rec.Now()
+}
+
+func traceEnd(rec *trace.Recorder, span string, start int64) {
+	if rec != nil {
+		rec.EmitShared(0, "thompson cache", span, start, rec.Now())
+	}
 }

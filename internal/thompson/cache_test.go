@@ -3,6 +3,8 @@ package thompson
 import (
 	"sync"
 	"testing"
+
+	"fabricpower/internal/telemetry/trace"
 )
 
 // TestStageGridTablesMatchClosedForms: the memoized tables are exactly
@@ -58,4 +60,22 @@ func TestStageGridTablesConcurrent(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestStageGridTraceSpans: with a run recorder active, memo fills emit
+// spans on the shared "thompson cache" row; hits stay silent.
+func TestStageGridTraceSpans(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	trace.SetActive(rec)
+	defer trace.SetActive(nil)
+	// Dimensions chosen to be unused by other tests in this package, so
+	// the process-wide memo is cold for both fills.
+	BanyanStageGridTable(9)
+	SorterStageGridTable(9)
+	BanyanStageGridTable(9) // hit: no span
+
+	tk := rec.Track(0, "thompson cache")
+	if tk.Len() != 2 {
+		t.Fatalf("thompson cache row holds %d spans, want 2 (one per fill)", tk.Len())
+	}
 }

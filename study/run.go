@@ -19,6 +19,7 @@ import (
 	"fabricpower/internal/sim"
 	"fabricpower/internal/sweep"
 	"fabricpower/internal/telemetry"
+	"fabricpower/internal/telemetry/trace"
 	"fabricpower/internal/traffic"
 )
 
@@ -186,13 +187,23 @@ type Result struct {
 // describe the same operating point measure identical results —
 // regardless of which subcommand, grid or test constructed them.
 func RunScenario(sc Scenario) (Result, error) {
-	return runScenario(sc, nil, nil)
+	return runScenario(sc, nil, nil, nil)
 }
 
-// runScenario is RunScenario with an optional telemetry tap: topt tunes
-// the kernel collectors, emit receives each kernel sample/summary (the
-// pointed-to values are reused — emit must consume them synchronously).
-func runScenario(sc Scenario, topt *TelemetryOptions, emit func(any)) (Result, error) {
+// pointTrace carries one point's execution-profiler attachment: the
+// run's shared recorder plus the Perfetto process (pid, name prefix)
+// the point's kernel rows group under.
+type pointTrace struct {
+	rec    *trace.Recorder
+	pid    int
+	prefix string
+}
+
+// runScenario is RunScenario with an optional telemetry tap and
+// execution profiler: topt tunes the kernel collectors, emit receives
+// each kernel sample/summary (the pointed-to values are reused — emit
+// must consume them synchronously), pt attaches the profiler.
+func runScenario(sc Scenario, topt *TelemetryOptions, emit func(any), pt *pointTrace) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -202,7 +213,7 @@ func runScenario(sc Scenario, topt *TelemetryOptions, emit func(any)) (Result, e
 		return Result{}, err
 	}
 	if sd.Network != nil {
-		return runNetwork(sd, model, topt, emit)
+		return runNetwork(sd, model, topt, emit, pt)
 	}
 	return runSingle(sd, model, topt, emit)
 }
@@ -440,7 +451,7 @@ func fromResilience(r *netsim.ResilienceReport) *ResilienceReport {
 }
 
 // runNetwork executes a defaulted network scenario.
-func runNetwork(sd Scenario, model core.Model, topt *TelemetryOptions, emit func(any)) (Result, error) {
+func runNetwork(sd Scenario, model core.Model, topt *TelemetryOptions, emit func(any), pt *pointTrace) (Result, error) {
 	arch, err := core.ParseArchitecture(sd.Fabric.Arch)
 	if err != nil {
 		return Result{}, err
@@ -496,6 +507,9 @@ func runNetwork(sd Scenario, model core.Model, topt *TelemetryOptions, emit func
 			OnSample:       func(s *netsim.TelemetrySample) { emit(s) },
 			OnSummary:      func(s *netsim.TelemetrySummary) { emit(s) },
 		}
+	}
+	if pt != nil {
+		ncfg.Trace = &netsim.TraceConfig{Recorder: pt.rec, PID: pt.pid, Prefix: pt.prefix}
 	}
 	net, err := netsim.New(ncfg)
 	if err != nil {
@@ -609,6 +623,14 @@ type RunOptions struct {
 	// Telemetry, when non-nil with Out set, samples every-K-slots
 	// kernel time series per point into Out as JSONL.
 	Telemetry *TelemetryOptions
+	// Trace, when non-nil, profiles the run's execution into the
+	// recorder: sweep-worker occupancy rows, per-point kernel rows
+	// (shard phases, barriers — one Perfetto process per point, pid =
+	// point index + 1) and cache single-flight waits. The recorder is
+	// installed as the process-wide trace.Active for the run's
+	// duration; export it with WriteJSON after Run returns. Results
+	// are bit-identical with or without it.
+	Trace *trace.Recorder
 }
 
 // Process-wide characterization-cache counters (shared instances with
@@ -684,7 +706,14 @@ func (g Grid) Run(ctx context.Context, opt RunOptions) (*GridResult, error) {
 		topt = opt.Telemetry
 		telw = telemetry.NewWriter(topt.Out)
 	}
-	results, done, err := sweep.MapCtxW(ctx, opt.Workers, scenarios, func(worker, i int, sc Scenario) (Result, error) {
+	if opt.Trace != nil {
+		// Install the recorder process-wide so code with no config
+		// plumbing of its own (the characterization caches) can attach
+		// its spans to this run.
+		trace.SetActive(opt.Trace)
+		defer trace.SetActive(nil)
+	}
+	results, done, err := sweep.MapCtxWT(ctx, opt.Workers, scenarios, func(worker, i int, sc Scenario) (Result, error) {
 		if opt.OnEvent != nil {
 			mu.Lock()
 			opt.OnEvent(Event{
@@ -726,8 +755,12 @@ func (g Grid) Run(ctx context.Context, opt RunOptions) (*GridResult, error) {
 				}
 			}
 		}
+		var pt *pointTrace
+		if opt.Trace != nil {
+			pt = &pointTrace{rec: opt.Trace, pid: i + 1, prefix: fmt.Sprintf("p%d ", i)}
+		}
 		start := time.Now()
-		r, rerr := runScenario(sc, topt, emit)
+		r, rerr := runScenario(sc, topt, emit, pt)
 		dur := time.Since(start)
 		mu.Lock()
 		for _, b := range recs {
@@ -750,7 +783,7 @@ func (g Grid) Run(ctx context.Context, opt RunOptions) (*GridResult, error) {
 		}
 		mu.Unlock()
 		return r, rerr
-	})
+	}, opt.Trace)
 	out := &GridResult{Points: make([]GridPoint, n)}
 	for i, sc := range scenarios {
 		out.Points[i] = GridPoint{Scenario: sc}
