@@ -17,7 +17,9 @@
 //	                [-policies alwayson,idlegate] [-matrix uniform] [-traffic bursty]
 //	                [-shards N] [-loads 0.1,0.3] [-workers N]
 //	                [-mtbf slots -mttr slots] [-faults events.json]
-//	fabricpower run <spec.json|-> [-workers N] [-csv file] [-json]
+//	fabricpower run <spec.json|-> [-workers N] [-csv file] [-json] [-timeout 30s]
+//	fabricpower serve [-addr host:port] [-max-concurrent N] [-max-queue N]
+//	fabricpower submit <spec.json|-> [-server URL] [-workers N]
 //
 // Every study subcommand accepts -print-scenario: instead of running,
 // it emits the equivalent declarative spec as JSON. Feeding that spec
@@ -55,6 +57,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/exp"
@@ -68,7 +71,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the orchestrator's stop signal) drains like Ctrl-C:
+	// cancel the context, flush whatever completed, exit nonzero if
+	// that truncated the output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := dispatch(ctx, os.Args[1], os.Args[2:], os.Stdout); err != nil {
 		if err == errUsage {
@@ -112,6 +118,10 @@ func dispatch(ctx context.Context, cmd string, args []string, w io.Writer) error
 		return runNet(ctx, args, w)
 	case "run":
 		return runSpecFile(ctx, args, w)
+	case "serve":
+		return runServe(ctx, args, w)
+	case "submit":
+		return runSubmit(ctx, args, w)
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -143,7 +153,17 @@ commands:
               failures with per-flow loss and availability accounting)
   run         execute a declarative scenario/study spec (JSON file or
               '-' for stdin); -json emits per-point result records as
-              JSON lines; see the study package and README
+              JSON lines; -timeout bounds the study's wall clock;
+              see the study package and README
+  serve       long-running study server: POST /v1/studies accepts the
+              same spec JSON and streams records/events/telemetry back
+              as NDJSON while the sweep runs; requests share the
+              process-wide model caches; -max-concurrent/-max-queue
+              bound admission (429 + Retry-After past both); healthz,
+              study listing, DELETE cancellation, expvar and pprof on
+              the same mux
+  submit      post a spec to a studyd server and stream its records to
+              stdout, byte-compatible with "run -json"
 
 study subcommands accept -print-scenario to emit their declarative spec
 instead of running; "fabricpower <cmd> -print-scenario | fabricpower
@@ -685,6 +705,7 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = all cores)")
 	csvPath := fs.String("csv", "", "also write CSV to this file (study kinds with a CSV form)")
 	jsonOut := fs.Bool("json", false, "emit per-point study.Result records as JSON lines instead of the rendered report")
+	timeout := fs.Duration("timeout", 0, "cancel the study after this long (0 = none); a timed-out -json run still flushes every completed record before exiting nonzero")
 	var obs obsFlags
 	obs.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -717,6 +738,11 @@ func runSpecFile(ctx context.Context, args []string, w io.Writer) error {
 	spec, err := study.DecodeSpec(r)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	opt, cleanup, err := obs.options(*workers)
 	if err != nil {

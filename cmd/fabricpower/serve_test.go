@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral port for a serve test to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// writeSpec drops a small two-point grid spec into the test dir.
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	doc := `{
+  "version": 1,
+  "base": {
+    "fabric": {"arch": "crossbar", "ports": 4},
+    "sim": {"warmupSlots": 50, "measureSlots": 200, "seed": 2}
+  },
+  "axes": [{"name": "load", "floats": [0.1, 0.3]}]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeSubmitRoundTrip drives the two subcommands in-process:
+// serve boots, submit streams a spec through it, and stdout matches
+// `run -json` byte for byte. Cancelling serve's context drains it.
+func TestServeSubmitRoundTrip(t *testing.T) {
+	spec := writeSpec(t)
+	addr := freePort(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- dispatch(ctx, "serve", []string{"-addr", addr, "-q"}, nil)
+	}()
+	waitHealthy(t, "http://"+addr, 10*time.Second)
+
+	var local strings.Builder
+	if err := dispatch(context.Background(), "run", []string{"-json", spec}, &local); err != nil {
+		t.Fatal(err)
+	}
+	var remote strings.Builder
+	if err := dispatch(context.Background(), "submit",
+		[]string{"-server", "http://" + addr, spec}, &remote); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("submit output differs from run -json:\nlocal:\n%sremote:\n%s", local.String(), remote.String())
+	}
+
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve exited with %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not drain after cancellation")
+	}
+}
+
+// waitHealthy polls the server's /healthz until it answers.
+func waitHealthy(t *testing.T, base string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSubmitConnectionRefused: a submit against nothing fails at the
+// transport with a nonzero-exit error, not a hang.
+func TestSubmitConnectionRefused(t *testing.T) {
+	spec := writeSpec(t)
+	addr := freePort(t) // reserved then released: nobody is listening
+	err := dispatch(context.Background(), "submit", []string{"-server", "http://" + addr, spec}, nil)
+	if err == nil {
+		t.Fatal("submit against a dead server must fail")
+	}
+}
+
+// TestRunTimeoutFlag: -timeout cancels a long study via its context
+// deadline; the partial -json stream still carries every completed
+// record and the command exits nonzero.
+func TestRunTimeoutFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slow.json")
+	doc := `{
+  "version": 1,
+  "base": {
+    "fabric": {"arch": "crossbar", "ports": 8},
+    "traffic": {"load": 0.3},
+    "sim": {"warmupSlots": 500, "measureSlots": 20000, "seed": 1}
+  },
+  "axes": [{"name": "seed", "ints": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20]}]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := dispatch(context.Background(), "run", []string{"-json", "-workers", "1", "-timeout", "150ms", path}, &out)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Whatever completed before the deadline was flushed; the sweep
+	// must not have run to completion.
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if out.Len() > 0 && len(lines) >= 20 {
+		t.Fatalf("timeout never fired: all %d points ran", len(lines))
+	}
+}

@@ -26,6 +26,14 @@
 // run` subcommand. WriteResultRecords emits a grid run as JSON Lines
 // (`fabricpower run -json`) for machine consumption.
 //
+// Together, Spec and ResultRecord are a wire protocol: specs in,
+// record lines out. internal/studyd serves exactly that over HTTP —
+// `fabricpower serve` accepts POSTed specs and streams each sweep's
+// ResultRecord lines (interleaved with RunOptions.OnEvent progress
+// events and point-tagged telemetry) back as NDJSON while it runs,
+// byte-compatible with `fabricpower run -json`. The stream framing is
+// documented on the studyd package.
+//
 // Traffic kinds are unified across scopes: the same TrafficSpec.Kind
 // ("uniform", "bursty", "packet", "trace", or a registered extension)
 // drives a single router's ports or — in a network scenario — every

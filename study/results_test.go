@@ -1,0 +1,191 @@
+package study_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fabricpower/study"
+)
+
+// failAfterWriter fails every Write once budget bytes have passed —
+// a full pipe or closed socket under the JSONL stream.
+type failAfterWriter struct {
+	budget  int
+	written int
+	errs    int
+}
+
+var errSinkFull = errors.New("sink full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.budget {
+		w.errs++
+		return 0, errSinkFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestWriteResultRecordsWriteError: the streaming handler leans on
+// WriteResultRecords surfacing the sink's error immediately — no
+// swallowed failures, no writes after the first one.
+func TestWriteResultRecordsWriteError(t *testing.T) {
+	gr, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := study.WriteResultRecords(&full, gr.Points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(full.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("need at least 2 records to probe mid-stream failure, got %d", len(lines))
+	}
+
+	// Budget exactly one record: the second Encode must fail and stop
+	// the stream.
+	w := &failAfterWriter{budget: len(lines[0])}
+	err = study.WriteResultRecords(w, gr.Points)
+	if !errors.Is(err, errSinkFull) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	if w.errs != 1 {
+		t.Errorf("writer failed %d times; WriteResultRecords must stop at the first error", w.errs)
+	}
+	if w.written != len(lines[0]) {
+		t.Errorf("wrote %d bytes before failing, want exactly the first record (%d)", w.written, len(lines[0]))
+	}
+
+	// Budget zero: even the first record fails.
+	if err := study.WriteResultRecords(&failAfterWriter{}, gr.Points); !errors.Is(err, errSinkFull) {
+		t.Fatalf("zero-budget err = %v, want the sink's error", err)
+	}
+}
+
+// TestWriteResultRecordsUnmarshalableResult: a record that cannot be
+// marshaled surfaces the encoder's error rather than emitting a
+// corrupt line.
+func TestWriteResultRecordsUnmarshalableResult(t *testing.T) {
+	points := []study.GridPoint{gridPointNaN(t)}
+	var buf bytes.Buffer
+	err := study.WriteResultRecords(&buf, points)
+	if err == nil {
+		t.Fatal("NaN in a result must fail the JSON encode")
+	}
+	var ue *json.UnsupportedValueError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *json.UnsupportedValueError", err)
+	}
+}
+
+// gridPointNaN builds a single done point whose result cannot be JSON
+// encoded (NaN throughput).
+func gridPointNaN(t *testing.T) study.GridPoint {
+	t.Helper()
+	gr, err := quickGrid().Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := gr.Points[0]
+	pt.Result.Throughput = nan()
+	return pt
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+// TestGridRunCancellationParallel: the mid-stream cancellation
+// contract holds under a parallel pool too — every Done point is
+// bit-identical to the uninterrupted run, every undone point is
+// zero-valued, and WriteResultRecords over the partial grid emits
+// exactly the Done indices in order.
+func TestGridRunCancellationParallel(t *testing.T) {
+	grid := study.Grid{
+		Base: study.Scenario{
+			Fabric: study.FabricSpec{Arch: "crossbar", Ports: 8},
+			Sim:    quickSim(),
+		},
+		Axes: []study.Axis{
+			{Name: "load", Floats: []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}},
+			{Name: "seed", Ints: []int{1, 2, 3}},
+		},
+	}
+	full, err := grid.Run(context.Background(), study.RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var seen atomic.Int64
+	partial, err := grid.Run(ctx, study.RunOptions{
+		Workers: 4,
+		OnPoint: func(i, total int, sc study.Scenario, r study.Result, _ study.PointInfo) {
+			if seen.Add(1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(partial.Points) != len(full.Points) {
+		t.Fatalf("partial grid lost its shape: %d vs %d points", len(partial.Points), len(full.Points))
+	}
+	completed := 0
+	for i, pt := range partial.Points {
+		if !pt.Done {
+			if pt.Result.Slots != 0 {
+				t.Fatalf("unrun point %d carries a result", i)
+			}
+			continue
+		}
+		completed++
+		if !reflect.DeepEqual(pt.Result, full.Points[i].Result) {
+			t.Fatalf("partial point %d differs from the uninterrupted run", i)
+		}
+	}
+	if completed == 0 || completed == len(partial.Points) {
+		t.Fatalf("cancellation should leave a strict subset, got %d/%d", completed, len(partial.Points))
+	}
+	if got := partial.Completed(); got != completed {
+		t.Fatalf("Completed() = %d, want %d", got, completed)
+	}
+
+	// The partial grid streams exactly its Done indices, in order.
+	var buf bytes.Buffer
+	if err := study.WriteResultRecords(&buf, partial.Points); err != nil {
+		t.Fatal(err)
+	}
+	var gotIdx []int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec study.ResultRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		gotIdx = append(gotIdx, rec.Index)
+	}
+	var wantIdx []int
+	for i, pt := range partial.Points {
+		if pt.Done {
+			wantIdx = append(wantIdx, i)
+		}
+	}
+	if !reflect.DeepEqual(gotIdx, wantIdx) {
+		t.Fatalf("record indices %v, want the Done indices %v", gotIdx, wantIdx)
+	}
+	for _, i := range gotIdx {
+		if i >= len(full.Points) {
+			t.Fatalf("record index %d out of range", i)
+		}
+	}
+}

@@ -669,6 +669,18 @@ type GridResult struct {
 	Points []GridPoint
 }
 
+// Completed counts the points that actually ran — on a cancelled or
+// failed sweep, the size of the partial result.
+func (g *GridResult) Completed() int {
+	n := 0
+	for _, p := range g.Points {
+		if p.Done {
+			n++
+		}
+	}
+	return n
+}
+
 // Results returns the completed results in enumeration order; on a
 // fully successful run that is every point.
 func (g *GridResult) Results() []Result {
