@@ -5,7 +5,10 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson [-out file]
-//	benchjson -compare old.json new.json [-threshold 15] [-match regex]
+//	benchjson -compare [-threshold 15] [-match regex] old.json new.json
+//
+// Flags must precede the two file arguments: the standard flag package
+// stops parsing at the first positional argument.
 //
 // Each benchmark line becomes one object; `pkg:` context lines from
 // multi-package runs attribute every benchmark to its package. Lines
@@ -83,7 +86,7 @@ func main() {
 // returns an error naming each regression beyond the threshold.
 func runCompare(args []string, threshold float64, match string, w io.Writer) error {
 	if len(args) != 2 {
-		return fmt.Errorf("-compare needs exactly two files: old.json new.json")
+		return fmt.Errorf("-compare needs exactly two files: old.json new.json (flags like -threshold must come before them)")
 	}
 	var re *regexp.Regexp
 	if match != "" {

@@ -606,6 +606,7 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 	matrix := fs.String("matrix", "uniform", "traffic matrix: uniform | gravity | hotspot")
 	trafficKind := fs.String("traffic", "", "per-flow traffic kind: uniform (default) | bursty | packet | registered kinds")
 	shards := fs.Int("shards", 0, "router shards per network (0/1 = single-threaded, -1 = one per core; results are identical for any value)")
+	idleSkip := fs.String("idleskip", "auto", "idle-node fast path: auto | on | off (bit-identical either way; off bisects a suspected divergence)")
 	archName := fs.String("arch", "crossbar", "per-node fabric architecture")
 	loadsFlag := fs.String("loads", "", "comma-separated per-host offered loads (default 0.1,0.2,0.3,0.4,0.5)")
 	noStatic := fs.Bool("nostatic", false, "zero static power: dynamic-only accounting (routing and gating still shape traffic)")
@@ -627,6 +628,11 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *idleSkip == "auto" {
+		// The spec's zero value already means auto; keep default specs
+		// byte-identical to pre-flag ones.
+		*idleSkip = ""
+	}
 	model := study.PaperModel()
 	model.Static = !*noStatic
 	spec := exp.NetSpec(model, exp.NetworkStudyOptions{
@@ -640,6 +646,7 @@ func runNet(ctx context.Context, args []string, w io.Writer) error {
 		Traffic:    *trafficKind,
 		Shards:     *shards,
 		Failures:   failures,
+		IdleSkip:   *idleSkip,
 	}, sf.params())
 	return sf.emit(ctx, spec, w)
 }

@@ -158,6 +158,18 @@ type Manager struct {
 	lastDyn  core.Breakdown
 	rep      Report
 
+	// Steady-idle memo: once the policy certifies its idle fixpoint
+	// (FixpointPolicy) and the state machines complete a motionless
+	// slot, every further IdleSlot replays in O(1) from these cached
+	// per-slot constants instead of walking the ports. Invalidated by
+	// the next PreSlot — any non-idle observation may move the policy.
+	idleSteady     bool
+	fixpoint       FixpointPolicy // cfg.Policy, when it certifies fixpoints
+	steadyStaticMW float64
+	steadyStaticFJ float64
+	steadyAlwaysFJ float64
+	steadyGated    int
+
 	// OnSample, when non-nil, receives one TraceSample per slot. Leave
 	// nil on measurement runs; the hook is the only per-slot work that
 	// may allocate.
@@ -223,6 +235,9 @@ func New(cfg Config) (*Manager, error) {
 		m.dynScale = append(m.dynScale, v*v)     // switching energy ∝ V²
 	}
 	m.rep.Policy = cfg.Policy.Name()
+	if fp, ok := cfg.Policy.(FixpointPolicy); ok {
+		m.fixpoint = fp
+	}
 	return m, nil
 }
 
@@ -246,6 +261,9 @@ func (m *Manager) transition(components float64) {
 // advances the power-state machines. Call after traffic injection and
 // before Router.Step.
 func (m *Manager) PreSlot(slot uint64, src Source) {
+	// A non-idle slot can move the policy and the state machines;
+	// steadiness must be re-proven on the next fully idle stretch.
+	m.idleSteady = false
 	n := m.cfg.Ports
 	m.obs.Slot = slot
 	backlog := 0
@@ -256,6 +274,17 @@ func (m *Manager) PreSlot(slot uint64, src Source) {
 	}
 	m.obs.Backlog = backlog
 	m.obs.BufferedCells = src.BufferedCells()
+	m.decideAndAdvance()
+}
+
+// decideAndAdvance is PreSlot's tail, shared with IdleSlot: run the
+// policy over the filled observation, then advance the port, buffer and
+// DVFS state machines. It reports whether any state machine moved this
+// slot — a transition fired, a wakeup or freeze countdown ticked — the
+// signal IdleSlot's steady-state detection needs: a motionless slot on
+// a fixpoint policy replays identically forever.
+func (m *Manager) decideAndAdvance() (changed bool) {
+	n := m.cfg.Ports
 	m.obs.Load = m.ewmaLoad
 
 	for p := range m.dec.GatePort {
@@ -274,6 +303,7 @@ func (m *Manager) PreSlot(slot uint64, src Source) {
 			if m.dec.GatePort[p] {
 				m.portState[p] = portGated
 				m.transition(m.portComponents)
+				changed = true
 			}
 		case portGated:
 			if !m.dec.GatePort[p] {
@@ -285,17 +315,20 @@ func (m *Manager) PreSlot(slot uint64, src Source) {
 					m.portState[p] = portWaking
 					m.wakeCnt[p] = m.static.WakeupSlots
 				}
+				changed = true
 			}
 		case portWaking:
 			if m.wakeCnt[p]--; m.wakeCnt[p] <= 0 {
 				m.portState[p] = portActive
 			}
+			changed = true
 		}
 	}
 
 	if m.inv.BufferBanks > 0 && m.dec.BufferSleep != m.bufDrowsy {
 		m.bufDrowsy = m.dec.BufferSleep
 		m.transition(float64(m.inv.BufferBanks))
+		changed = true
 	}
 
 	lv := m.dec.DVFSLevel
@@ -309,12 +342,14 @@ func (m *Manager) PreSlot(slot uint64, src Source) {
 		// Level transition in progress (PLL relock): admission frozen.
 		m.freeze--
 		m.stalled = true
+		changed = true
 	} else {
 		if lv != m.level {
 			m.level = lv
 			m.rep.DVFSShifts++
 			m.transition(float64(m.inv.Components()))
 			m.freeze = m.static.WakeupSlots
+			changed = true
 		}
 		if m.freeze > 0 {
 			m.stalled = true
@@ -333,6 +368,7 @@ func (m *Manager) PreSlot(slot uint64, src Source) {
 	if m.stalled {
 		m.rep.StalledSlots++
 	}
+	return changed
 }
 
 // PostSlot accounts the slot: egress activity, the load EWMA, static
@@ -359,10 +395,25 @@ func (m *Manager) PostSlot(slot uint64, delivered []*packet.Cell, dyn core.Break
 		}
 	}
 	inst := float64(len(delivered)) / float64(n)
+	staticMW, gated, waking := m.accountSlot(inst)
+
+	delta := dyn.Add(m.lastDyn.Scale(-1))
+	m.lastDyn = dyn
+	if ds := m.dynScale[m.level]; ds != 1 {
+		m.rep.DynamicAdjust = m.rep.DynamicAdjust.Add(delta.Scale(ds - 1))
+	}
+	m.rep.Slots++
+	m.sample(slot, staticMW, gated, waking)
+}
+
+// accountSlot is PostSlot's energy tail, shared with IdleSlot: fold the
+// slot's delivered-throughput sample into the load EWMA and charge the
+// static ledgers for the current power states.
+func (m *Manager) accountSlot(inst float64) (staticMW float64, gated, waking int) {
+	n := m.cfg.Ports
 	m.ewmaLoad += (inst - m.ewmaLoad) / 32
 
 	var mw float64
-	gated, waking := 0, 0
 	for p := 0; p < n; p++ {
 		switch m.portState[p] {
 		case portGated:
@@ -384,28 +435,92 @@ func (m *Manager) PostSlot(slot uint64, delivered []*packet.Cell, dyn core.Break
 		}
 	}
 	m.rep.GatedPortSlots += uint64(gated)
-	staticMW := mw * m.staticScale[m.level]
+	staticMW = mw * m.staticScale[m.level]
 	m.rep.StaticFJ += mwFJ(staticMW, m.slotNS)
 	m.rep.AlwaysOnStaticFJ += mwFJ(float64(n)*m.portIdleMW+m.bufMW, m.slotNS)
+	return staticMW, gated, waking
+}
 
-	delta := dyn.Add(m.lastDyn.Scale(-1))
-	m.lastDyn = dyn
-	if ds := m.dynScale[m.level]; ds != 1 {
-		m.rep.DynamicAdjust = m.rep.DynamicAdjust.Add(delta.Scale(ds - 1))
+func (m *Manager) sample(slot uint64, staticMW float64, gated, waking int) {
+	if m.OnSample == nil {
+		return
 	}
-	m.rep.Slots++
+	m.OnSample(TraceSample{
+		Slot:         slot,
+		GatedPorts:   gated,
+		WakingPorts:  waking,
+		BufferDrowsy: m.bufDrowsy,
+		DVFSLevel:    m.level,
+		Stalled:      m.stalled,
+		StaticMW:     staticMW,
+		Load:         m.ewmaLoad,
+	})
+}
 
-	if m.OnSample != nil {
-		m.OnSample(TraceSample{
-			Slot:         slot,
-			GatedPorts:   gated,
-			WakingPorts:  waking,
-			BufferDrowsy: m.bufDrowsy,
-			DVFSLevel:    m.level,
-			Stalled:      m.stalled,
-			StaticMW:     staticMW,
-			Load:         m.ewmaLoad,
-		})
+// IdleSlot advances the manager one slot over a provably idle router:
+// no queued cells, nothing inside the fabric, nothing delivered, and no
+// dynamic energy charged since the last slot. It replays the exact
+// PreSlot+PostSlot instruction stream for that case — the policy still
+// decides (its own history advances), the port/buffer/DVFS state
+// machines and wakeup countdowns still tick, the static ledgers still
+// charge and the load EWMA still decays — while skipping only work that
+// is identically zero: the observation calls (all queues are known
+// empty; last slot's PortActive flags are preserved for the policy to
+// consume) and the DVFS dynamic-energy delta (an idle fabric's
+// cumulative dynamic energy is unchanged, so the delta is exactly zero
+// and adding its ±0 components would leave the adjustment ledger
+// bit-identical). Results are therefore bit-for-bit the same as the
+// full path.
+//
+// Once an idle stretch settles — the policy certifies its fixpoint and
+// a full replay completes with every state machine motionless — the
+// replay itself collapses to O(1): the decision, port states and static
+// power are constants, so each further slot is one EWMA decay plus the
+// same ledger additions, applied one slot at a time so the float
+// accumulation order (and hence every rounded sum) is identical to the
+// full path's.
+func (m *Manager) IdleSlot(slot uint64) {
+	if m.idleSteady {
+		m.ewmaLoad += (0 - m.ewmaLoad) / 32
+		m.rep.GatedPortSlots += uint64(m.steadyGated)
+		if m.inv.BufferBanks > 0 && m.bufDrowsy {
+			m.rep.DrowsySlots++
+		}
+		m.rep.StaticFJ += m.steadyStaticFJ
+		m.rep.AlwaysOnStaticFJ += m.steadyAlwaysFJ
+		m.rep.Slots++
+		m.sample(slot, m.steadyStaticMW, m.steadyGated, 0)
+		return
+	}
+	n := m.cfg.Ports
+	m.obs.Slot = slot
+	for p := 0; p < n; p++ {
+		m.obs.QueueLen[p] = 0
+	}
+	m.obs.Backlog = 0
+	m.obs.BufferedCells = 0
+	changed := m.decideAndAdvance()
+	staticMW, gated, waking := m.accountSlot(0)
+	m.rep.Slots++
+	m.sample(slot, staticMW, gated, waking)
+
+	// Steady-state detection, after the slot's mutations have landed:
+	// from here every further idle slot replays identically when (a) no
+	// state machine moved (no transitions, wake or freeze countdowns;
+	// waking is 0 whenever changed is false), (b) the policy certifies
+	// its Decide is a motionless constant for all-idle observations,
+	// (c) the DVFS duty cycle is degenerate — full speed, unstalled,
+	// with an accumulator the +Speed/-1 round trip reproduces exactly —
+	// so stalled stays false and acc stays put on every following slot.
+	if !changed && m.fixpoint != nil && m.freeze == 0 && !m.stalled {
+		speed := m.levels[m.level].Speed
+		if speed == 1 && m.acc+speed-1 == m.acc && m.fixpoint.IdleFixpoint() {
+			m.idleSteady = true
+			m.steadyGated = gated
+			m.steadyStaticMW = staticMW
+			m.steadyStaticFJ = mwFJ(staticMW, m.slotNS)
+			m.steadyAlwaysFJ = mwFJ(float64(n)*m.portIdleMW+m.bufMW, m.slotNS)
+		}
 	}
 }
 

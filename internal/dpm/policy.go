@@ -57,6 +57,21 @@ type Policy interface {
 	Decide(obs *Observation, dec *Decision)
 }
 
+// FixpointPolicy is an optional Policy extension the manager's
+// steady-idle fast path consults. IdleFixpoint reports that the policy
+// has converged for sustained idleness: given any further observation
+// whose QueueLen entries are all zero, PortActive flags all false, and
+// Backlog and BufferedCells zero — Slot and Load arbitrary — Decide
+// would mutate no internal state and fill the decision exactly as it
+// did last slot. The certificate lets the manager stop re-running
+// Decide on provably idle slots and replay the constant decision in
+// O(1); a policy whose idle behaviour depends on Load or Slot (for
+// example LoadDVFS, which walks the ladder as the load EWMA decays)
+// must not implement it, and then always takes the full path.
+type FixpointPolicy interface {
+	IdleFixpoint() bool
+}
+
 // AlwaysOn is the baseline policy: every component powered, full speed,
 // forever. With zero static power it reproduces the paper's accounting
 // bit-identically; with static power attached it shows what an
@@ -71,6 +86,10 @@ func (AlwaysOn) Reset(int) {}
 
 // Decide implements Policy: the zeroed decision is exactly "all on".
 func (AlwaysOn) Decide(*Observation, *Decision) {}
+
+// IdleFixpoint implements FixpointPolicy: stateless, so always at the
+// fixpoint.
+func (AlwaysOn) IdleFixpoint() bool { return true }
 
 // IdleGate clock-gates a port's switch/wire domain after the port has
 // been idle — empty ingress queue and no egress delivery — for
@@ -110,6 +129,18 @@ func (g *IdleGate) Decide(obs *Observation, dec *Decision) {
 	}
 }
 
+// IdleFixpoint implements FixpointPolicy: the idle counters saturate at
+// TimeoutSlots, so once every port's streak is there an all-idle
+// observation increments nothing and every gate request stays true.
+func (g *IdleGate) IdleFixpoint() bool {
+	for _, streak := range g.idle {
+		if streak < g.TimeoutSlots {
+			return false
+		}
+	}
+	return true
+}
+
 // BufferSleep puts the fabric's SRAM banks into the drowsy
 // (retention-voltage) state once they have drained: zero buffered cells
 // for DrainSlots consecutive slots. A buffering event while drowsy
@@ -147,6 +178,10 @@ func (b *BufferSleep) Decide(obs *Observation, dec *Decision) {
 	}
 	dec.BufferSleep = b.empty >= b.DrainSlots
 }
+
+// IdleFixpoint implements FixpointPolicy: the drain streak saturates at
+// DrainSlots, mirroring IdleGate's counters.
+func (b *BufferSleep) IdleFixpoint() bool { return b.empty >= b.DrainSlots }
 
 // DVFSLevel is one frequency/voltage operating point of the LoadDVFS
 // policy. Speed is the relative admission rate (frequency scale): at

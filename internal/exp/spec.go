@@ -232,7 +232,7 @@ func NetSpec(model study.ModelSpec, opt NetworkStudyOptions, p SimParams) study.
 	base := specBase(model, p)
 	base.Fabric.Arch = opt.Arch.String()
 	base.Traffic.Kind = opt.Traffic
-	base.Network = &study.NetworkSpec{Nodes: opt.Nodes, Matrix: opt.Matrix, Shards: opt.Shards, Failures: opt.Failures}
+	base.Network = &study.NetworkSpec{Nodes: opt.Nodes, Matrix: opt.Matrix, Shards: opt.Shards, Failures: opt.Failures, IdleSkip: opt.IdleSkip}
 	return study.Spec{
 		Version: study.SpecVersion,
 		Kind:    "net",

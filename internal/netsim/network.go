@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 
 	"fabricpower/internal/core"
 	"fabricpower/internal/dpm"
@@ -84,6 +85,23 @@ type Config struct {
 	// runs single-threaded; negative uses GOMAXPROCS. Sharded networks
 	// hold worker goroutines — call Close when done with one.
 	Shards int
+	// Partition overrides the node→shard assignment: Partition[u] is
+	// the shard owning node u, with values in [0, effective shard
+	// count). Results never depend on the partition — it decides only
+	// which goroutine does the work — so a measured assignment
+	// (ExecProfile().SuggestPartition from a profiled warmup run) is
+	// free to feed back into a sweep. Nil picks the built-in
+	// cost-weighted default: greedy LPT over a static per-node estimate
+	// of traversal work.
+	Partition []int
+	// IdleSkip controls the idle fast path: "auto" or "on" (and the
+	// empty default) let the kernel fast-forward provably idle nodes —
+	// no queued or in-flight cells, no arrivals this slot — through a
+	// reduced per-slot path that replays the full path's state changes
+	// bit-identically; "off" forces every node through the full step
+	// every slot. Both settings produce byte-identical results; "off"
+	// exists so a suspected divergence can be bisected.
+	IdleSkip string
 }
 
 func (c Config) withDefaults() Config {
@@ -112,29 +130,81 @@ func (c Config) withDefaults() Config {
 }
 
 // linkQueue is a fixed-capacity ring buffer of cells in flight on one
-// link — fixed so the forwarding path never allocates. Each queue has
-// exactly one writer per phase: the destination's shard pops in the
-// compute phase, the source's shard pushes in the exchange phase, and
-// the barrier between the phases orders them.
+// link — fixed so the forwarding path never allocates. The backing
+// array is sized to the next power of two so ring arithmetic is a mask
+// instead of a modulo, and the hot paths move cells in blocks: drains
+// walk contiguous segment views and fills reserve runs, instead of
+// popping and pushing cell-at-a-time. Each queue has exactly one
+// writer per phase: the destination's shard pops in the compute phase,
+// the source's shard pushes in the exchange phase, and the barrier
+// between the phases orders them.
 type linkQueue struct {
-	buf        []*packet.Cell
+	buf        []*packet.Cell // power-of-two length
+	mask       int
+	cap        int // logical capacity (Config.LinkQueueCells)
 	head, size int
 }
 
-func (q *linkQueue) full() bool  { return q.size == len(q.buf) }
+func newLinkQueue(capacity int) linkQueue {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return linkQueue{buf: make([]*packet.Cell, n), mask: n - 1, cap: capacity}
+}
+
+func (q *linkQueue) full() bool  { return q.size == q.cap }
 func (q *linkQueue) empty() bool { return q.size == 0 }
 
 func (q *linkQueue) push(c *packet.Cell) {
-	q.buf[(q.head+q.size)%len(q.buf)] = c
+	q.buf[(q.head+q.size)&q.mask] = c
 	q.size++
 }
 
 func (q *linkQueue) pop() *packet.Cell {
 	c := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.size--
 	return c
+}
+
+// segment returns the contiguous run of queued cells starting off
+// cells past the head, capped at k cells — the ring's occupied region
+// as at most two slices split at the wrap point, so a drain walks
+// blocks instead of popping cell-at-a-time.
+func (q *linkQueue) segment(off, k int) []*packet.Cell {
+	start := (q.head + off) & q.mask
+	if start+k <= len(q.buf) {
+		return q.buf[start : start+k]
+	}
+	return q.buf[start:]
+}
+
+// discard drops the k cells at the head — already consumed from a
+// segment view — clearing their slots so delivered cells can be
+// collected.
+func (q *linkQueue) discard(k int) {
+	for i := 0; i < k; i++ {
+		q.buf[(q.head+i)&q.mask] = nil
+	}
+	q.head = (q.head + k) & q.mask
+	q.size -= k
+}
+
+// pushBlock appends up to len(cells) cells as one reserved run and
+// returns how many fit; the remainder overflowed a full queue.
+func (q *linkQueue) pushBlock(cells []*packet.Cell) int {
+	m := q.cap - q.size
+	if m > len(cells) {
+		m = len(cells)
+	}
+	base := q.head + q.size
+	for i := 0; i < m; i++ {
+		q.buf[(base+i)&q.mask] = cells[i]
+	}
+	q.size += m
+	return m
 }
 
 // shard is one worker's partition of the network: a contiguous node
@@ -206,6 +276,13 @@ type Network struct {
 	nodeInLinks [][]int32        // incoming link indices per node, ascending
 	outbox      [][]*packet.Cell // staged transit cells per node
 
+	// idleSkip enables the hybrid kernel's idle fast path; nodeBusy[u]
+	// records whether node u's router held queued or in-flight cells
+	// after its last full step. Each flag is read and written only by
+	// the node's owning shard during the compute phase.
+	idleSkip bool
+	nodeBusy []bool
+
 	shards     []shard
 	pool       *shardPool // nil until a sharded Step starts it
 	bufferBase []uint64
@@ -228,6 +305,17 @@ func New(cfg Config) (*Network, error) {
 	t := cfg.Topology
 	if t == nil {
 		return nil, fmt.Errorf("netsim: topology is required")
+	}
+	if cfg.LinkQueueCells < 1 {
+		return nil, fmt.Errorf("netsim: link queue must hold >= 1 cell, got %d", cfg.LinkQueueCells)
+	}
+	idleSkip := false
+	switch cfg.IdleSkip {
+	case "", "auto", "on":
+		idleSkip = true
+	case "off":
+	default:
+		return nil, fmt.Errorf("netsim: unknown IdleSkip %q (want auto, on or off)", cfg.IdleSkip)
 	}
 	flows := cfg.Flows
 	if len(flows) == 0 {
@@ -285,6 +373,8 @@ func New(cfg Config) (*Network, error) {
 		outbox:      make([][]*packet.Cell, t.Nodes),
 		words:       packet.Config{CellBits: cfg.CellBits, BusWidth: 32}.Words(),
 		bufferBase:  make([]uint64, t.Nodes),
+		idleSkip:    idleSkip,
+		nodeBusy:    make([]bool, t.Nodes),
 	}
 	for fi := range flows {
 		n.rngs[fi] = rand.New(rand.NewSource(flowSeed(cfg.Seed, fi, saltPayload)))
@@ -295,7 +385,7 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("netsim: link %d→%d capacity must be >= 1, got %d",
 				t.Links[li].From, t.Links[li].To, c)
 		}
-		n.links[li].buf = make([]*packet.Cell, cfg.LinkQueueCells)
+		n.links[li] = newLinkQueue(cfg.LinkQueueCells)
 		n.nodeInLinks[t.Links[li].To] = append(n.nodeInLinks[t.Links[li].To], int32(li))
 	}
 	cell := packet.Config{CellBits: cfg.CellBits, BusWidth: 32}
@@ -331,20 +421,36 @@ func New(cfg Config) (*Network, error) {
 		n.routers[u] = r
 	}
 
-	// Contiguous node blocks per shard; every shard gets at least one
-	// node. The partition only affects which goroutine does the work,
-	// never the result.
+	// Cost-weighted node partition: by default each shard gets nodes by
+	// greedy LPT over a static per-node cost estimate, so a fat-tree
+	// spine carrying most of the transit traffic no longer rides in
+	// whatever contiguous block its number fell into. Config.Partition
+	// overrides the assignment outright (a warmup run's measured
+	// ExecProfile().SuggestPartition, typically). The partition only
+	// affects which goroutine does the work, never the result.
 	shards := cfg.Shards
 	if shards > t.Nodes {
 		shards = t.Nodes
+	}
+	part := cfg.Partition
+	if part != nil {
+		if len(part) != t.Nodes {
+			return nil, fmt.Errorf("netsim: partition has %d entries for %d nodes", len(part), t.Nodes)
+		}
+		for u, w := range part {
+			if w < 0 || w >= shards {
+				return nil, fmt.Errorf("netsim: partition assigns node %d to shard %d of %d", u, w, shards)
+			}
+		}
+	} else {
+		part = lptPartition(estimateNodeCost(t, flows), shards)
 	}
 	n.shards = make([]shard, shards)
 	for w := range n.shards {
 		n.shards[w].id = w
 	}
 	for u := 0; u < t.Nodes; u++ {
-		w := u * shards / t.Nodes
-		n.shards[w].nodes = append(n.shards[w].nodes, u)
+		n.shards[part[u]].nodes = append(n.shards[part[u]].nodes, u)
 	}
 	if !cfg.Faults.Empty() {
 		fs, err := newFaultState(*cfg.Faults, t, len(flows), cfg.Seed)
@@ -394,6 +500,50 @@ func wireFlow(t *Topology, f *Flow, fi int, path []int) error {
 	f.src = srcEdge[fi%len(srcEdge)]
 	f.ports[len(path)-1] = dstEdge[fi%len(dstEdge)]
 	return nil
+}
+
+// estimateNodeCost is the static per-node cost model used when no
+// measured profile is supplied: one unit of fixed per-slot work (DPM
+// accounting, source ticking) plus the summed rates of every flow
+// whose path traverses the node — traversal work (draining, admission,
+// fabric transport) scales with the traffic a node carries.
+func estimateNodeCost(t *Topology, flows []Flow) []float64 {
+	cost := make([]float64, t.Nodes)
+	for u := range cost {
+		cost[u] = 1
+	}
+	for i := range flows {
+		f := &flows[i]
+		for _, u := range f.path {
+			cost[u] += f.Rate
+		}
+	}
+	return cost
+}
+
+// lptPartition assigns nodes to shards by greedy LPT (longest
+// processing time first): nodes in descending cost order, each onto
+// the currently lightest shard. Deterministic — ties break toward the
+// lower node index and the lower shard id.
+func lptPartition(cost []float64, shards int) []int {
+	order := make([]int, len(cost))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] > cost[order[b]] })
+	load := make([]float64, shards)
+	part := make([]int, len(cost))
+	for _, u := range order {
+		w := 0
+		for v := 1; v < shards; v++ {
+			if load[v] < load[w] {
+				w = v
+			}
+		}
+		part[u] = w
+		load[w] += cost[u]
+	}
+	return part
 }
 
 // Flows returns the routed flow list (paths filled in).
@@ -491,9 +641,16 @@ func (n *Network) computePhaseProf(s *shard, slot uint64) {
 }
 
 // nodeSlot runs one node's compute-phase work: source injection,
-// incoming-link draining, the router's slot.
+// incoming-link draining, the router's slot. A provably idle node — no
+// queued or in-flight cells after its last full step, no arrivals this
+// slot, nothing waiting on its incoming links — takes the idle fast
+// path instead: the DPM manager and arbiter replay their exact per-slot
+// state changes (policy decisions, wakeup countdowns, static-energy
+// ledgers, tie-break rotation) while the fabric walk, queue scans and
+// link drains — all no-ops on an empty router — are skipped. The two
+// paths are bit-identical; Config.IdleSkip "off" forces the full one.
 func (n *Network) nodeSlot(s *shard, u int, slot uint64) {
-	n.injectNode(s, u, slot)
+	arrived := n.injectNode(s, u, slot)
 	if n.fail != nil && n.fail.nodeDown[u] {
 		// A failed router neither forwards nor burns fabric
 		// energy; it parks at the plan's residual power (charged
@@ -502,13 +659,34 @@ func (n *Network) nodeSlot(s *shard, u int, slot uint64) {
 		// links are all down, so nothing waits on them.
 		return
 	}
+	if n.idleSkip && !arrived && !n.nodeBusy[u] && !n.linksPending(u) {
+		if mgr := n.mgrs[u]; mgr != nil {
+			mgr.IdleSlot(slot)
+		}
+		n.routers[u].IdleStep(slot)
+		return
+	}
 	n.drainInLinks(s, u, slot)
 	n.stepNode(s, u, n.routers[u], slot)
 }
 
+// linksPending reports whether any of node u's incoming links holds
+// cells. Safe to read during the compute phase: links are filled only
+// in the exchange phase, on the other side of the barrier.
+func (n *Network) linksPending(u int) bool {
+	for _, li := range n.nodeInLinks[u] {
+		if n.links[li].size != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // injectNode draws each locally sourced flow's arrival process and
-// injects fresh cells at the flow's source edge port.
-func (n *Network) injectNode(s *shard, u int, slot uint64) {
+// injects fresh cells at the flow's source edge port. It reports
+// whether any cell was presented to the router this slot — an arrival
+// makes the node active regardless of its previous state.
+func (n *Network) injectNode(s *shard, u int, slot uint64) (arrived bool) {
 	for _, fi := range n.nodeFlows[u] {
 		f := &n.flows[fi]
 		// The arrival process always ticks — fault state must not
@@ -543,45 +721,74 @@ func (n *Network) injectNode(s *shard, u int, slot uint64) {
 		if !n.routers[u].Inject(c, slot) && n.fail != nil {
 			s.flowLost[fi]++
 		}
+		arrived = true
 	}
+	return arrived
 }
 
 // drainInLinks moves cells from node u's incoming links into its
 // ingress, up to each link's per-slot capacity. A full ingress queue
 // backpressures the link: its head cell (and everything behind it)
-// waits.
+// waits. Each ring is drained in blocks — at most two contiguous
+// segment views split at the wrap point, discarded in one head advance
+// — instead of popping cell-at-a-time.
 func (n *Network) drainInLinks(s *shard, u int, slot uint64) {
 	r := n.routers[u]
 	for _, li := range n.nodeInLinks[u] {
 		q := &n.links[li]
+		if q.size == 0 {
+			continue
+		}
 		l := &n.topo.Links[li]
-		for moved := 0; moved < l.Capacity && !q.empty(); moved++ {
-			if n.cfg.MaxQueueCells > 0 && r.QueueLen(l.ToPort) >= n.cfg.MaxQueueCells {
-				break
-			}
-			c := q.pop()
-			if n.tel != nil {
-				// Single writer: only node u's shard drains link li.
-				n.tel.linkMoved[li]++
-			}
-			f := &n.flows[c.FlowID]
-			if n.fail != nil {
-				// Re-convergence may have moved the flow off this
-				// link while the cell was in flight: a cell whose
-				// next hop is no longer node u is stranded here.
-				hop := int(c.Hop) + 1
-				if f.path == nil || hop >= len(f.path) || f.path[hop] != u {
-					s.flowLost[c.FlowID]++
-					continue
-				}
-			}
-			c.Hop++
-			c.Src = l.ToPort
-			c.Dest = f.ports[c.Hop]
-			if !r.Inject(c, slot) && n.fail != nil {
-				s.flowLost[c.FlowID]++
+		take := l.Capacity
+		if q.size < take {
+			take = q.size
+		}
+		// room mirrors the ingress backpressure check: QueueLen grows
+		// only by this loop's own successful injections during the
+		// phase, so one read plus a local countdown replays the
+		// per-cell re-read exactly.
+		room := int(^uint(0) >> 1)
+		if n.cfg.MaxQueueCells > 0 {
+			room = n.cfg.MaxQueueCells - r.QueueLen(l.ToPort)
+			if room <= 0 {
+				continue
 			}
 		}
+		moved := 0
+	drain:
+		for moved < take {
+			for _, c := range q.segment(moved, take-moved) {
+				if room <= 0 {
+					break drain
+				}
+				moved++
+				if n.tel != nil {
+					// Single writer: only node u's shard drains link li.
+					n.tel.linkMoved[li]++
+				}
+				f := &n.flows[c.FlowID]
+				if n.fail != nil {
+					// Re-convergence may have moved the flow off this
+					// link while the cell was in flight: a cell whose
+					// next hop is no longer node u is stranded here.
+					hop := int(c.Hop) + 1
+					if f.path == nil || hop >= len(f.path) || f.path[hop] != u {
+						s.flowLost[c.FlowID]++
+						continue
+					}
+				}
+				c.Hop++
+				c.Src = l.ToPort
+				c.Dest = f.ports[c.Hop]
+				if r.Inject(c, slot) {
+					room--
+				} else if n.fail != nil {
+					s.flowLost[c.FlowID]++
+				}
+			}
+		}
+		q.discard(moved)
 	}
 }
 
@@ -637,6 +844,10 @@ func (n *Network) stepNode(s *shard, u int, r *router.Router, slot uint64) {
 		out = append(out, c)
 	}
 	n.outbox[u] = out
+	// Re-derive the activity flag after the full step — both reads are
+	// O(1) counters. A node with nothing queued and nothing in flight
+	// can take the idle fast path until a new arrival wakes it.
+	n.nodeBusy[u] = r.QueuedCells() > 0 || r.InFlight() > 0
 }
 
 // exchangePhase runs phase 2 for one shard: each owned node's staged
@@ -662,26 +873,36 @@ func (n *Network) exchangePhase(s *shard, slot uint64) {
 }
 
 // exchangeNodes is the exchange phase's body: each owned node's staged
-// cells onto their next links.
+// cells onto their next links. Runs of consecutive cells bound for the
+// same link fill its ring as one reserved block; whatever a block
+// cannot fit overflowed a full queue and is dropped, exactly as the
+// cell-at-a-time path would have.
 func (n *Network) exchangeNodes(s *shard) {
 	for _, u := range s.nodes {
-		for _, c := range n.outbox[u] {
-			f := &n.flows[c.FlowID]
-			li := f.links[c.Hop]
+		out := n.outbox[u]
+		for i := 0; i < len(out); {
+			li := n.flows[out[i].FlowID].links[out[i].Hop]
+			j := i + 1
+			for j < len(out) && n.flows[out[j].FlowID].links[out[j].Hop] == li {
+				j++
+			}
 			if n.fail != nil && !n.fail.linkUp[li] {
 				// Down links refuse cells outright.
-				s.flowLost[c.FlowID]++
+				for _, c := range out[i:j] {
+					s.flowLost[c.FlowID]++
+				}
+				i = j
 				continue
 			}
 			q := &n.links[li]
-			if q.full() {
+			m := q.pushBlock(out[i:j])
+			for _, c := range out[i+m : j] {
 				s.linkDropped++
 				if n.fail != nil {
 					s.flowLost[c.FlowID]++
 				}
-				continue
 			}
-			q.push(c)
+			i = j
 		}
 		n.outbox[u] = n.outbox[u][:0]
 	}
@@ -775,6 +996,12 @@ func (n *Network) beginMeasurement() {
 	}
 	if n.fail != nil {
 		n.fail.beginFaultMeasurement(n.slot)
+	}
+	if n.prof != nil {
+		// Restart the imbalance gauge's rolling interval at the
+		// measurement boundary so warmup skew never pollutes
+		// measured-window imbalance readings.
+		n.prof.resetInterval()
 	}
 }
 

@@ -153,6 +153,18 @@ func (p *execProf) closeSlot(slot uint64) {
 	p.sampling = false
 }
 
+// resetInterval restarts the imbalance gauge's rolling interval,
+// dropping any partially accumulated sampled slots. The network calls
+// it at the warmup/measurement boundary so a skewed warmup cannot leak
+// into the measured window's `netsim.shard.imbalance` readings; the
+// whole-run ExecProfile accumulators are untouched.
+func (p *execProf) resetInterval() {
+	for w := range p.intervalBusy {
+		p.intervalBusy[w] = 0
+	}
+	p.intervalSlots = 0
+}
+
 // imbalancePermille returns max/mean of busy in permille (1000 =
 // perfectly balanced). False when nothing was measured.
 func imbalancePermille(busy []int64) (int64, bool) {
@@ -220,6 +232,27 @@ func (n *Network) ExecProfile() *ExecProfile {
 		ep.Imbalance = float64(imb) / 1000
 	}
 	return ep
+}
+
+// SuggestPartition converts the profile's measured per-node costs into
+// a cost-weighted node→shard assignment — greedy LPT over NodeCostNS —
+// ready to hand to Config.Partition: profile a warmup run with the
+// target shard count, then feed the suggestion into every point of a
+// sweep. Nodes that were never sampled cost zero and land wherever
+// balance dictates. shards is clamped to [1, node count], mirroring
+// the kernel's own shard capping.
+func (ep *ExecProfile) SuggestPartition(shards int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(ep.NodeCostNS) {
+		shards = len(ep.NodeCostNS)
+	}
+	cost := make([]float64, len(ep.NodeCostNS))
+	for u, c := range ep.NodeCostNS {
+		cost[u] = float64(c)
+	}
+	return lptPartition(cost, shards)
 }
 
 // profBarrierBuckets sizes the barrier-wait histograms: 28 log2 buckets

@@ -124,6 +124,11 @@ type Router struct {
 	arbSLIP *arbiter.ISLIP
 	voqReq  [][]bool // per-slot occupancy matrix, reused
 
+	// queued counts cells across all ingress queues, maintained
+	// incrementally so QueuedCells — the network kernel's per-slot
+	// idleness test — is O(1) instead of a queue scan.
+	queued int
+
 	metrics Metrics
 }
 
@@ -216,21 +221,9 @@ func (r *Router) BufferedCells() int {
 }
 
 // QueuedCells returns the number of cells waiting in ingress queues.
-func (r *Router) QueuedCells() int {
-	total := 0
-	if r.cfg.Queue == FIFO {
-		for _, q := range r.fifoQ {
-			total += len(q)
-		}
-		return total
-	}
-	for _, per := range r.voq {
-		for _, q := range per {
-			total += len(q)
-		}
-	}
-	return total
-}
+// O(1): the count is maintained incrementally by Inject, admission and
+// FlushQueues.
+func (r *Router) QueuedCells() int { return r.queued }
 
 // InFlight returns cells inside the fabric.
 func (r *Router) InFlight() int { return r.fab.InFlight() }
@@ -254,6 +247,7 @@ func (r *Router) FlushQueues(fn func(*packet.Cell)) int {
 			r.fifoQ[p] = r.fifoQ[p][:0]
 			r.arrivals[p] = r.arrivals[p][:0]
 		}
+		r.queued = 0
 		return flushed
 	}
 	for i := range r.voq {
@@ -267,6 +261,7 @@ func (r *Router) FlushQueues(fn func(*packet.Cell)) int {
 			r.voq[i][j] = r.voq[i][j][:0]
 		}
 	}
+	r.queued = 0
 	return flushed
 }
 
@@ -286,6 +281,7 @@ func (r *Router) Inject(c *packet.Cell, slot uint64) bool {
 		}
 		r.fifoQ[c.Src] = append(r.fifoQ[c.Src], c)
 		r.arrivals[c.Src] = append(r.arrivals[c.Src], slot)
+		r.queued++
 		r.metrics.AcceptedCells++
 		return true
 	}
@@ -294,6 +290,7 @@ func (r *Router) Inject(c *packet.Cell, slot uint64) bool {
 		return false
 	}
 	r.voq[c.Src][c.Dest] = append(r.voq[c.Src][c.Dest], c)
+	r.queued++
 	r.metrics.AcceptedCells++
 	return true
 }
@@ -323,6 +320,20 @@ func (r *Router) Step(slot uint64) []*packet.Cell {
 	return delivered
 }
 
+// IdleStep advances the router one slot when it is provably idle — no
+// queued cells, nothing in flight in the fabric — replaying exactly the
+// state change Step performs on an empty router. FCFS's round-robin
+// pointer advances every slot (Grant is called even with no requests,
+// and its rotation decides future tie-breaks), so it ticks here too;
+// iSLIP's pointers move only on accepted grants, so an empty match
+// leaves no state behind and is skipped; the fabric walk and egress
+// accounting are no-ops on an empty fabric and are skipped as well.
+func (r *Router) IdleStep(slot uint64) {
+	if r.cfg.Queue == FIFO {
+		r.arbFCFS.IdleTick()
+	}
+}
+
 // admitFIFO requests grants for queue heads and offers winners to the
 // fabric; losers and refused cells stay at their heads (HOL blocking).
 func (r *Router) admitFIFO(slot uint64) {
@@ -347,6 +358,7 @@ func (r *Router) admitFIFO(slot uint64) {
 		if r.fab.Offer(cell) {
 			r.fifoQ[p] = r.fifoQ[p][1:]
 			r.arrivals[p] = r.arrivals[p][1:]
+			r.queued--
 		}
 	}
 }
@@ -373,6 +385,7 @@ func (r *Router) admitVOQ(slot uint64) {
 		cell := r.voq[i][o][0]
 		if r.fab.Offer(cell) {
 			r.voq[i][o] = r.voq[i][o][1:]
+			r.queued--
 		}
 	}
 }

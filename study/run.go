@@ -497,6 +497,7 @@ func runNetwork(sd Scenario, model core.Model, topt *TelemetryOptions, emit func
 		Load:           sd.Traffic.Load,
 		Traffic:        flowTraffic,
 		Shards:         ns.Shards,
+		IdleSkip:       ns.IdleSkip,
 		Seed:           networkSeed(sd.Sim.Seed, ns.Topology, ns.Nodes, sd.Traffic.Load),
 		Faults:         faultPlan(ns.Failures),
 	}

@@ -169,6 +169,37 @@ func TestRunScenarioNetworkShardsIdentical(t *testing.T) {
 	}
 }
 
+// TestRunScenarioNetworkIdleSkipIdentical pins the spec-level idleSkip
+// escape hatch: the field reaches the kernel (bad values error) and
+// "off" reproduces the default fast-path result bit-identically.
+func TestRunScenarioNetworkIdleSkipIdentical(t *testing.T) {
+	scenario := func(idleSkip string) study.Scenario {
+		return study.Scenario{
+			Model:   study.ModelSpec{Static: true},
+			Traffic: study.TrafficSpec{Kind: "bursty", Load: 0.1},
+			DPM:     "idlegate",
+			Sim:     quickSim(),
+			Network: &study.NetworkSpec{Topology: "fattree", Nodes: 4, IdleSkip: idleSkip},
+		}
+	}
+	run := func(idleSkip string) study.Result {
+		r, err := study.RunScenario(scenario(idleSkip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	def := run("")
+	for _, mode := range []string{"auto", "on", "off"} {
+		if got := run(mode); !reflect.DeepEqual(def, got) {
+			t.Errorf("idleSkip=%q result differs from default", mode)
+		}
+	}
+	if _, err := study.RunScenario(scenario("sometimes")); err == nil {
+		t.Error("idleSkip=sometimes was accepted")
+	}
+}
+
 // TestRunScenarioNetworkTrafficKinds: the traffic zoo crosses hops —
 // every network-capable kind runs through a network scenario, and
 // burstiness changes the power bill at equal average load.

@@ -128,6 +128,11 @@ type NetworkSpec struct {
 	// network (netsim.FaultPlan). Absent — or present but empty — the
 	// run is fault-free and byte-identical to a spec without the block.
 	Failures *FailureSpec `json:"failures,omitempty"`
+	// IdleSkip selects the kernel's idle-node fast path: "auto" (or
+	// absent) and "on" enable it, "off" forces every node through the
+	// full per-slot walk. Both paths are bit-identical — the switch
+	// exists so a suspected divergence can be bisected from a spec.
+	IdleSkip string `json:"idleSkip,omitempty"`
 }
 
 // FailureSpec is the `failures` block of a network scenario: the
